@@ -1,0 +1,22 @@
+"""Bench: design-choice ablations (prefetch depth, SSD efficiency,
+optimizer window, GPU occupancy model) — see DESIGN.md §5."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_prefetch_depth(benchmark, emit):
+    emit(run_once(benchmark, ablations.run_prefetch_depth))
+
+
+def test_ablation_ssd_efficiency(benchmark, emit):
+    emit(run_once(benchmark, ablations.run_ssd_efficiency))
+
+
+def test_ablation_optimizer_window(benchmark, emit):
+    emit(run_once(benchmark, ablations.run_optimizer_window))
+
+
+def test_ablation_occupancy_model(benchmark, emit):
+    emit(run_once(benchmark, ablations.run_occupancy_model))

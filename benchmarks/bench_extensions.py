@@ -1,0 +1,9 @@
+"""Bench: extension experiments beyond the paper's figures."""
+
+from repro.experiments import ext_seq_len
+
+from conftest import run_once
+
+
+def test_ext_sequence_length(benchmark, emit):
+    emit(run_once(benchmark, ext_seq_len.run))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 (stage breakdown, ZeRO-Infinity / G10 / Ratel)."""
+
+from repro.experiments import fig1_breakdown
+
+from conftest import run_once
+
+
+def test_fig1_breakdown(benchmark, emit):
+    emit(run_once(benchmark, fig1_breakdown.run))
+
+
+def test_fig1_traffic_accounting(benchmark, emit):
+    from repro.experiments import traffic_report
+
+    emit(run_once(benchmark, traffic_report.run))

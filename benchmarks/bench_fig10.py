@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 10 (effect of the number of SSDs)."""
+
+from repro.experiments import fig10_ssd_scaling
+
+from conftest import run_once
+
+
+def test_fig10a_135b_scaling(benchmark, emit):
+    emit(run_once(benchmark, fig10_ssd_scaling.run_fig10a))
+
+
+def test_fig10b_13b_tflops(benchmark, emit):
+    emit(run_once(benchmark, fig10_ssd_scaling.run_fig10b))

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 11 (multi-GPU throughput vs ZeRO-Infinity)."""
+
+from repro.experiments import fig11_multi_gpu
+
+from conftest import run_once
+
+
+def test_fig11_all_panels(benchmark, emit):
+    emit(run_once(benchmark, fig11_multi_gpu.run))

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 12 (DiT diffusion models, Ratel vs Fast-DiT)."""
+
+from repro.experiments import fig12_diffusion
+
+from conftest import run_once
+
+
+def test_fig12_diffusion(benchmark, emit):
+    emit(run_once(benchmark, fig12_diffusion.run))

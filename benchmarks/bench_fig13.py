@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 13 (cost-effectiveness vs a DGX-A100)."""
+
+from repro.experiments import fig13_cost
+
+from conftest import run_once
+
+
+def test_fig13_cost_effectiveness(benchmark, emit):
+    emit(run_once(benchmark, fig13_cost.run))

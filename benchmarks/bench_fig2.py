@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 2 (motivation: max size, GPU busy, optimizer share)."""
+
+from repro.experiments import fig2_motivation
+
+from conftest import run_once
+
+
+def test_fig2a_max_model_size(benchmark, emit):
+    emit(run_once(benchmark, fig2_motivation.run_fig2a))
+
+
+def test_fig2b_gpu_busy(benchmark, emit):
+    emit(run_once(benchmark, fig2_motivation.run_fig2b))
+
+
+def test_fig2c_optimizer_share(benchmark, emit):
+    emit(run_once(benchmark, fig2_motivation.run_fig2c))

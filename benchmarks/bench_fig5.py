@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (end-to-end throughput vs batch and model size)."""
+
+from repro.experiments import fig5_throughput
+
+from conftest import run_once
+
+
+def test_fig5a_13b_on_4090(benchmark, emit):
+    emit(run_once(benchmark, fig5_throughput.run_fig5a))
+
+
+def test_fig5b_13b_on_3090(benchmark, emit):
+    emit(run_once(benchmark, fig5_throughput.run_fig5b))
+
+
+def test_fig5c_tflops_vs_model_size(benchmark, emit):
+    emit(run_once(benchmark, fig5_throughput.run_fig5c))

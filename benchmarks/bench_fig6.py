@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 6 (max trainable model size vs main memory)."""
+
+from repro.experiments import fig6_max_model
+
+from conftest import run_once
+
+
+def test_fig6a_24gb_gpus(benchmark, emit):
+    emit(run_once(benchmark, fig6_max_model.run_fig6a))
+
+
+def test_fig6b_rtx4080(benchmark, emit):
+    emit(run_once(benchmark, fig6_max_model.run_fig6b))

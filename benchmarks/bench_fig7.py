@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 7 (active gradient offloading ablation)."""
+
+from repro.experiments import fig7_gradient_offload
+
+from conftest import run_once
+
+
+def test_fig7a_13b(benchmark, emit):
+    emit(run_once(benchmark, fig7_gradient_offload.run_fig7a))
+
+
+def test_fig7b_175b(benchmark, emit):
+    emit(run_once(benchmark, fig7_gradient_offload.run_fig7b))

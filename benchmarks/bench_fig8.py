@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 8 (activation swapping to SSDs vs main memory only)."""
+
+from repro.experiments import fig8_act_to_ssd
+
+from conftest import run_once
+
+
+def test_fig8_128gb(benchmark, emit):
+    emit(run_once(benchmark, lambda: fig8_act_to_ssd.run_panel(128)))
+
+
+def test_fig8_256gb(benchmark, emit):
+    emit(run_once(benchmark, lambda: fig8_act_to_ssd.run_panel(256)))

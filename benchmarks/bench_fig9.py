@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 9 + Table V (activation management strategies)."""
+
+from repro.experiments import fig9_act_strategy
+
+from conftest import run_once
+
+
+def test_fig9a_and_table_v(benchmark, emit):
+    throughput, batches = run_once(benchmark, fig9_act_strategy.run_fig9a)
+    emit([throughput, batches])
+
+
+def test_fig9b_iteration_time_curves(benchmark, emit):
+    emit(run_once(benchmark, fig9_act_strategy.run_fig9b))

@@ -1,0 +1,35 @@
+"""Bench: the functional runtime's training step (offload machinery cost).
+
+Not a paper figure — this times the NumPy substrate itself: a full
+forward/backward/active-optimizer iteration of a small GPT with
+checkpointed blocks, NVMe spill and per-parameter CPU-Adam handlers.
+"""
+
+import numpy as np
+
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelOptimizer,
+    ratel_hook,
+    ratel_init,
+)
+
+GB = 1e9
+
+
+def test_runtime_train_step(benchmark):
+    rng = np.random.default_rng(0)
+    loss_fn = CrossEntropyLoss()
+    with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=8 * GB):
+        model = GPTModel(101, 32, 4, 4, 32, np.random.default_rng(1))
+        runtime = ratel_hook(model)
+        RatelOptimizer(model, runtime, lr=1e-3)
+        ids = rng.integers(0, 101, size=(8, 32))
+        targets = np.roll(ids, -1, axis=1)
+
+        def step():
+            return runtime.train_step(lambda: loss_fn(model(ids), targets))
+
+        loss = benchmark(step)
+        assert loss > 0

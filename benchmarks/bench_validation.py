@@ -1,0 +1,18 @@
+"""Bench: internal consistency — analytic Eq. 1-5 vs the DES engine."""
+
+from repro.core import run_agreement_report
+from repro.hardware import EVALUATION_SERVER
+
+from conftest import run_once
+
+
+def test_analytic_vs_engine_agreement(benchmark, emit):
+    emit(run_once(benchmark, lambda: run_agreement_report(EVALUATION_SERVER)))
+
+
+def test_algorithm1_star_quality(benchmark, emit):
+    from repro.core import run_star_quality_report
+    from repro.hardware import GiB, evaluation_server
+
+    server = evaluation_server(main_memory_bytes=128 * GiB)
+    emit(run_once(benchmark, lambda: run_star_quality_report(server)))

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_fig*.py`` regenerates one of the paper's tables/figures via
+``pytest-benchmark`` (timing the whole experiment) and emits the rendered
+rows both to stdout (run with ``-s`` to see them) and to
+``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit():
+    """Print an ExperimentResult (or a list of them) and persist it."""
+
+    def _emit(outcome) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        results = [outcome] if isinstance(outcome, ExperimentResult) else list(outcome)
+        for result in results:
+            text = result.render()
+            print("\n" + text)
+            path = os.path.join(RESULTS_DIR, f"{result.experiment}.txt")
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment with a single timed round.
+
+    The experiments are deterministic simulations; one round measures the
+    full regeneration cost without repeating multi-second sweeps.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

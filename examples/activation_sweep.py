@@ -1,0 +1,59 @@
+"""Explore the activation swap/recompute tradeoff (the Fig. 9b analysis).
+
+For a chosen model and batch size, sweeps the swapped-activation amount
+``A_G2M`` across its valid range, prints the iteration-time curve with
+the bottleneck resource at each point, and marks Algorithm 1's pick.
+A quick way to see the three §IV-D cases move as you change the batch
+size or the main-memory capacity.
+
+Run:  python examples/activation_sweep.py [model] [batch] [main-GB]
+      e.g. python examples/activation_sweep.py 13B 48 128
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import IterationTimeModel, RatelPolicy, plan_activation_swapping
+from repro.hardware import GB, GiB, evaluation_server
+from repro.models import llm, profile_model
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "13B"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 48
+    main_gb = int(sys.argv[3]) if len(sys.argv) > 3 else 128
+
+    server = evaluation_server(main_memory_bytes=main_gb * GiB)
+    profile = profile_model(llm(model_name), batch)
+    ratel = RatelPolicy()
+    model = IterationTimeModel(profile, ratel.hardware_profile(profile, server))
+    plan = plan_activation_swapping(model)
+
+    print(
+        f"{model_name} model, batch {batch}, {main_gb} GB DRAM "
+        f"(activation budget in DRAM: {model.hardware.mem_avail_main / GB:.0f} GB)"
+    )
+    print(f"A_all = {profile.activation_bytes_total / GB:.0f} GB, "
+          f"A_interBlock = {profile.inter_block_bytes / GB:.1f} GB\n")
+
+    print(f"{'A_G2M (GB)':>11s} {'to SSD':>8s} {'T_iter':>7s}  bottlenecks (fwd/bwd)")
+    lo = profile.inter_block_bytes
+    hi = profile.activation_bytes_total
+    n_points = 15
+    for i in range(n_points):
+        a = lo + (hi - lo) * i / (n_points - 1)
+        estimate = model.estimate(a)
+        marker = " <-- Algorithm 1" if abs(a - plan.a_g2m) < (hi - lo) / (2 * n_points) else ""
+        print(
+            f"{a / GB:11.1f} {estimate.a_to_ssd / GB:8.1f} {estimate.total:7.1f}"
+            f"  {estimate.forward.bottleneck}/{estimate.backward.bottleneck}{marker}"
+        )
+
+    print(f"\nAlgorithm 1 chose A* = {plan.a_g2m / GB:.1f} GB "
+          f"({plan.case.name}), predicted T_iter = {plan.t_iter:.1f} s")
+    print(f"segments swapped (by offloading benefit): {', '.join(plan.swapped)}")
+
+
+if __name__ == "__main__":
+    main()

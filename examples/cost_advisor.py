@@ -1,0 +1,88 @@
+"""Budget advisor: the cheapest machine that fine-tunes your model.
+
+Given a target model size, searches the commodity-server design space
+(GPU model, GPU count, main memory, SSD count) for configurations that
+can run it under Ratel, then ranks them by cost-effectiveness (token/s
+per $1000, the paper's Fig. 13 metric) — the practical question the
+paper's cost analysis answers for a single point.
+
+Run:  python examples/cost_advisor.py [model] [global-batch]
+      e.g. python examples/cost_advisor.py 70B 32
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import cost_effectiveness
+from repro.core import RatelPolicy
+from repro.core.memory_model import InfeasibleError
+from repro.core.multi_gpu import per_gpu_view, run_data_parallel
+from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server
+from repro.models import llm, profile_model
+
+GPUS = (RTX_4080, RTX_3090, RTX_4090)
+GPU_COUNTS = (1, 2, 4)
+MEMORY_GB = (128, 256, 512)
+SSD_COUNTS = (3, 6, 12)
+
+#: DRAM price per the evaluation server's DDR4 modules (approximate).
+DRAM_USD_PER_GB = 3.0
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "70B"
+    global_batch = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    config = llm(model_name)
+    ratel = RatelPolicy()
+
+    rows = []
+    for gpu in GPUS:
+        for n_gpus in GPU_COUNTS:
+            if global_batch % n_gpus != 0:
+                continue
+            for mem_gb in MEMORY_GB:
+                for n_ssds in SSD_COUNTS:
+                    server = evaluation_server(
+                        gpu=gpu,
+                        n_gpus=n_gpus,
+                        main_memory_bytes=mem_gb * GiB,
+                        n_ssds=n_ssds,
+                    )
+                    profile = profile_model(config, global_batch // n_gpus)
+                    if not ratel.feasible(profile, per_gpu_view(server)):
+                        continue
+                    try:
+                        run = run_data_parallel(ratel, config, global_batch, server)
+                    except InfeasibleError:
+                        continue
+                    price = server.price_usd + DRAM_USD_PER_GB * mem_gb
+                    point = cost_effectiveness(ratel.name, server, run.tokens_per_s)
+                    rows.append(
+                        (
+                            run.tokens_per_s / (price / 1000.0),
+                            f"{n_gpus}x {gpu.name}",
+                            mem_gb,
+                            n_ssds,
+                            price,
+                            run.tokens_per_s,
+                        )
+                    )
+
+    if not rows:
+        print(f"no feasible configuration found for {model_name} at batch {global_batch}")
+        return
+
+    rows.sort(reverse=True)
+    print(f"configurations able to fine-tune {model_name} at global batch {global_batch},")
+    print("ranked by cost-effectiveness:\n")
+    print(f"{'tok/s/$k':>9s}  {'GPUs':<14s} {'DRAM':>6s} {'SSDs':>5s} {'price':>9s} {'tok/s':>7s}")
+    for ce, gpus, mem_gb, n_ssds, price, tput in rows[:12]:
+        print(f"{ce:9.1f}  {gpus:<14s} {mem_gb:>4d}GB {n_ssds:>5d} ${price:>8,.0f} {tput:>7.0f}")
+    best = rows[0]
+    print(f"\nbest value: {best[1]}, {best[2]} GB DRAM, {best[3]} SSDs "
+          f"-> {best[5]:.0f} token/s at ${best[4]:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

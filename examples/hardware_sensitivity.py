@@ -1,0 +1,75 @@
+"""What-if analysis: which hardware upgrade helps a given fine-tune most?
+
+Sweeps one hardware dimension at a time around the evaluation server —
+GPU generation, GPU<->host PCIe bandwidth, SSD count, CPU Adam speed —
+and reports the throughput response of a Ratel fine-tune.  The output
+tells you where the next dollar goes: for SSD-bound 70B-class runs, more
+SSDs; for compute-bound 13B-class runs, a faster GPU.
+
+Run:  python examples/hardware_sensitivity.py [model] [batch]
+      e.g. python examples/hardware_sensitivity.py 70B 16
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.core import RatelPolicy
+from repro.hardware import (
+    GB,
+    RTX_3090,
+    RTX_4080,
+    RTX_4090,
+    evaluation_server,
+)
+from repro.models import llm, profile_model
+
+
+def throughput(policy, profile, server) -> float:
+    if not policy.feasible(profile, server):
+        return float("nan")
+    return policy.simulate(profile, server).tokens_per_s
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "70B"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    base_server = evaluation_server()
+    profile = profile_model(llm(model_name), batch)
+    ratel = RatelPolicy()
+    base = throughput(ratel, profile, base_server)
+
+    print(f"{model_name} at batch {batch}; baseline {base:.0f} token/s "
+          f"(4090, 768 GiB, 12 SSDs)\n")
+
+    print("GPU generation:")
+    for gpu in (RTX_3090, RTX_4080, RTX_4090):
+        tput = throughput(ratel, profile, base_server.with_gpu(gpu))
+        print(f"  {gpu.name:10s} {tput:8.0f} token/s  ({tput / base - 1:+.0%})")
+
+    print("\nGPU<->host PCIe bandwidth (per direction):")
+    for bw_gb in (16, 21, 32, 48):
+        link = replace(base_server.gpu_link, bandwidth_per_dir=bw_gb * GB)
+        server = replace(base_server, gpu_link=link)
+        tput = throughput(ratel, profile, server)
+        print(f"  {bw_gb:3d} GB/s  {tput:8.0f} token/s  ({tput / base - 1:+.0%})")
+
+    print("\nnumber of SSDs:")
+    for n_ssds in (3, 6, 12):
+        tput = throughput(ratel, profile, base_server.with_ssds(n_ssds))
+        print(f"  {n_ssds:3d}        {tput:8.0f} token/s  ({tput / base - 1:+.0%})")
+
+    print("\nCPU Adam throughput (params/s):")
+    for rate in (0.65e9, 1.3e9, 2.6e9):
+        cpu = replace(base_server.cpu, adam_params_per_s=rate)
+        server = replace(base_server, cpu=cpu)
+        tput = throughput(ratel, profile, server)
+        print(f"  {rate:.2e}  {tput:8.0f} token/s  ({tput / base - 1:+.0%})")
+
+    print("\nreading: the dimension with the steepest response is this "
+          "workload's bottleneck; flat rows are wasted money.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Plan the paper's headline run: a 175B model on one RTX 4090 + 256 GB.
+
+Uses the capacity planner and the Eq. 1-8 iteration-time model to answer,
+before committing any hardware:
+
+* does the workload fit (GPU / main memory / SSD, tier by tier)?
+* what does Algorithm 1 decide (swap amount, SSD overflow, recompute)?
+* what iteration time and throughput should the machine deliver, and
+  which resource is the bottleneck in each stage?
+* how do the baselines fare on the same box?
+
+Run:  python examples/plan_175b_on_4090.py [model-size] [batch]
+      e.g. python examples/plan_175b_on_4090.py 175B 8
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import ColossalAIPolicy, ZeroInfinityPolicy, ZeroOffloadPolicy
+from repro.core import IterationTimeModel, RatelPolicy, check_feasible
+from repro.hardware import GB, GiB, evaluation_server, fmt_bytes
+from repro.models import llm, profile_model
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "175B"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    server = evaluation_server(main_memory_bytes=256 * GiB)
+    config = llm(model_name)
+    profile = profile_model(config, batch)
+    ratel = RatelPolicy()
+
+    print(f"workload: {config.name} model ({config.size_billions:.0f}B params), batch {batch}")
+    print(f"server:   RTX 4090 (24 GB), 256 GB DRAM, 12x P5510 SSDs\n")
+
+    print("tensor inventory per iteration:")
+    print(f"  model states (P32+OS32+G16+P16): {fmt_bytes(profile.states.total)}")
+    print(f"  activations (A_all):             {fmt_bytes(profile.activation_bytes_total)}")
+    print(f"  inter-block subset:              {fmt_bytes(profile.inter_block_bytes)}\n")
+
+    print("feasibility per system:")
+    for policy in (ratel, ZeroInfinityPolicy(), ZeroOffloadPolicy(), ColossalAIPolicy()):
+        report = check_feasible(policy, profile, server)
+        if report.feasible:
+            print(f"  {policy.name:15s} fits")
+        else:
+            missing = ", ".join(
+                f"{tier} short {fmt_bytes(byte)}" for tier, byte in report.shortfalls.items()
+            )
+            print(f"  {policy.name:15s} FAILS ({missing})")
+    print()
+
+    plan = ratel.plan(profile, server)
+    print("Ratel's holistic activation plan (Algorithm 1):")
+    print(f"  case:              {plan.case.name}")
+    print(f"  A_G2M swapped:     {fmt_bytes(plan.a_g2m)}")
+    print(f"    -> main memory:  {fmt_bytes(plan.a_to_main)}")
+    print(f"    -> SSD overflow: {fmt_bytes(plan.a_to_ssd)}")
+    recompute_pct = 100 * plan.estimate.recompute_flops / profile.forward_flops
+    print(f"  recompute:         {recompute_pct:.0f}% of a forward pass\n")
+
+    model = IterationTimeModel(profile, ratel.hardware_profile(profile, server))
+    estimate = model.estimate(plan.a_g2m)
+    print("predicted stage times (analytic Eq. 1-5):")
+    for stage_name, stage in (("forward", estimate.forward), ("backward", estimate.backward)):
+        parts = ", ".join(f"{k}={v:.1f}s" for k, v in sorted(stage.components.items()))
+        print(f"  {stage_name:8s} {stage.total:6.1f} s  (bottleneck: {stage.bottleneck}; {parts})")
+
+    result = ratel.simulate(profile, server)
+    print("\nsimulated iteration (discrete-event engine):")
+    print(f"  forward {result.forward_time:.1f} s + backward {result.backward_time:.1f} s "
+          f"= {result.iteration_time:.1f} s/iteration")
+    print(f"  throughput: {result.tokens_per_s:.0f} token/s "
+          f"({result.achieved_tflops:.0f} TFLOPS, GPU busy {100 * result.gpu_busy_fraction:.0f}%)")
+    tokens_per_day = result.tokens_per_s * 86400
+    print(f"  ~{tokens_per_day / 1e6:.0f}M tokens/day on a $1600 GPU")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: fine-tune a tiny GPT with Ratel's functional runtime.
+
+Demonstrates the paper's Fig.-4 API on the NumPy substrate:
+
+1. ``ratel_init`` establishes the GPU/host/NVMe storage hierarchy;
+2. ``ratel_hook`` injects checkpoint-and-offload forwards into the model;
+3. ``RatelOptimizer`` arms active gradient offloading — so there is no
+   ``optimizer.step()`` in the loop: parameters are already updated when
+   ``backward()`` returns.
+
+The script then re-runs the identical workload with a *deferred*
+optimizer stage and checks the resulting parameters are bit-identical —
+the paper's "synchronous updates, no staleness" property — and prints
+the real byte traffic across the tiers.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelOptimizer,
+    ratel_hook,
+    ratel_init,
+)
+
+GB = 1e9
+
+VOCAB, DIM, LAYERS, HEADS, SEQ, BATCH = 101, 32, 4, 4, 16, 8
+STEPS = 5
+
+
+def make_batch(rng: np.random.Generator):
+    """A toy language-modelling batch (random tokens, next-token targets)."""
+    ids = rng.integers(0, VOCAB, size=(BATCH, SEQ))
+    targets = np.roll(ids, -1, axis=1)
+    return ids, targets
+
+
+def train(active_offload: bool) -> tuple[list[float], dict[str, np.ndarray], dict]:
+    """Train for STEPS iterations; returns losses, params and traffic."""
+    rng = np.random.default_rng(0)
+    loss_fn = CrossEntropyLoss()
+    with ratel_init(
+        gpu_capacity=1 * GB,
+        host_capacity=1 * GB,
+        nvme_capacity=4 * GB,
+        active_offload=active_offload,
+    ) as context:
+        model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(1234))
+        runtime = ratel_hook(model)
+        RatelOptimizer(model, runtime, lr=1e-2)
+
+        losses = []
+        for _step in range(STEPS):
+            ids, targets = make_batch(rng)
+            losses.append(runtime.train_step(lambda: loss_fn(model(ids), targets)))
+        params = {name: p.data.copy() for name, p in model.named_parameters()}
+        traffic = {
+            "gpu->host (G16 + checkpoints out)": context.manager.traffic("gpu", "host"),
+            "host->gpu (P16 + checkpoints back)": context.manager.traffic("host", "gpu"),
+            "host->nvme (states + spill)": context.manager.traffic("host", "nvme"),
+            "nvme->host (states + spill)": context.manager.traffic("nvme", "host"),
+        }
+    return losses, params, traffic
+
+
+def main() -> None:
+    print(f"model: {LAYERS} layers, dim {DIM}, vocab {VOCAB}, batch {BATCH}")
+    active_losses, active_params, traffic = train(active_offload=True)
+    deferred_losses, deferred_params, _ = train(active_offload=False)
+
+    print("\nloss curve (active gradient offloading):")
+    for step, loss in enumerate(active_losses, 1):
+        print(f"  step {step}: {loss:.4f}")
+
+    worst = max(
+        float(np.abs(active_params[name] - deferred_params[name]).max())
+        for name in active_params
+    )
+    print(f"\nactive vs deferred optimizer: max parameter diff = {worst:.2e}")
+    assert worst == 0.0, "active gradient offloading must introduce no staleness"
+    assert active_losses == deferred_losses
+    print("  -> bit-identical: active gradient offloading introduces no staleness")
+
+    print("\nreal data movement across the storage hierarchy:")
+    for link, nbytes in traffic.items():
+        print(f"  {link:38s} {nbytes / 1e6:8.2f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fine-tune a character-level GPT on real text, end to end, under Ratel.
+
+The most complete functional demo: a small GPT trains on an embedded
+corpus through the full Ratel stack — checkpointed blocks with NVMe
+boundary spill, out-of-core CPU Adam, active gradient offloading — and
+then *generates text*, showing the offloaded training actually learned.
+
+Run:  python examples/train_char_lm.py [steps]
+      e.g. python examples/train_char_lm.py 120
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelOptimizer,
+    ratel_hook,
+    ratel_init,
+)
+from repro.runtime.textgen import CharTokenizer, generate, sample_batches
+
+GB = 1e9
+
+CORPUS = (
+    "the quick brown fox jumps over the lazy dog. "
+    "she sells sea shells by the sea shore. "
+    "to be or not to be that is the question. "
+    "a journey of a thousand miles begins with a single step. "
+) * 8
+
+SEQ, BATCH, DIM, LAYERS, HEADS = 32, 16, 64, 3, 4
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    tokenizer = CharTokenizer(CORPUS)
+    corpus_ids = tokenizer.encode(CORPUS)
+    rng = np.random.default_rng(0)
+    loss_fn = CrossEntropyLoss()
+
+    print(f"corpus: {len(CORPUS)} chars, vocabulary {tokenizer.vocab_size}")
+    print(f"model: {LAYERS} layers x dim {DIM}; seq {SEQ}, batch {BATCH}\n")
+
+    with ratel_init(
+        gpu_capacity=2 * GB, host_capacity=2 * GB, nvme_capacity=8 * GB
+    ) as context:
+        model = GPTModel(
+            tokenizer.vocab_size, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(1)
+        )
+        runtime = ratel_hook(model)
+        RatelOptimizer(model, runtime, lr=3e-3)
+
+        batches = sample_batches(corpus_ids, SEQ, BATCH, steps, rng)
+        for step, (ids, targets) in enumerate(batches, 1):
+            loss = runtime.train_step(lambda: loss_fn(model(ids), targets))
+            if step == 1 or step % 20 == 0:
+                print(f"step {step:4d}  loss {loss:.3f}")
+
+        print("\ngreedy samples:")
+        for prompt in ("the quick ", "she sells "):
+            print(f"  {prompt!r} -> {generate(model, tokenizer, prompt, 40)!r}")
+
+        moved = sum(context.manager.moved_bytes.values())
+        print(f"\ntotal data moved across tiers during training: {moved / 1e6:.0f} MB")
+        print(f"peak NVMe use: {context.manager.tiers['nvme'].peak_bytes / 1e6:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Analysis helpers: cost-effectiveness and result rendering."""
+
+from .cost import CostEffectiveness, cost_effectiveness
+from .report import ExperimentResult
+
+__all__ = ["CostEffectiveness", "cost_effectiveness", "ExperimentResult"]

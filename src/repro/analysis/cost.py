@@ -1,0 +1,42 @@
+"""Cost-effectiveness analysis (paper §V-I, Table VII, Fig. 13).
+
+The metric is training throughput per thousand dollars of server price.
+Prices follow Table VII: a DGX-A100 with 8 NVLink A100-80G GPUs costs
+$200,000; the commodity 4U chassis $14,098; an RTX 4090 $1,600; an Intel
+P5510 SSD $308.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+
+
+@dataclass(frozen=True)
+class CostEffectiveness:
+    """Throughput-per-price for one system configuration."""
+
+    system: str
+    server: str
+    tokens_per_s: float
+    price_usd: float
+
+    @property
+    def tokens_per_s_per_kusd(self) -> float:
+        """Token/s per $1000 of server price (Fig. 13's y-axis)."""
+        return self.tokens_per_s / (self.price_usd / 1000.0)
+
+
+def cost_effectiveness(
+    system: str, server: ServerSpec, tokens_per_s: float
+) -> CostEffectiveness:
+    """Build the Fig. 13 data point for one measured throughput."""
+    if tokens_per_s < 0:
+        raise ValueError("throughput cannot be negative")
+    return CostEffectiveness(
+        system=system,
+        server=server.name,
+        tokens_per_s=tokens_per_s,
+        price_usd=server.price_usd,
+    )

@@ -1,0 +1,74 @@
+"""Result containers and plain-text table rendering.
+
+Each experiment module returns an :class:`ExperimentResult`: a named grid
+of rows that renders as the same table/series the paper's figure plots.
+The benchmark harness prints these; EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    ``columns`` are the header labels; ``rows`` are same-length value
+    tuples.  ``notes`` records interpretation hints (units, which paper
+    observation the shape corresponds to).
+    """
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach an interpretation note printed under the table."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Format as an aligned plain-text table."""
+        headers = [str(column) for column in self.columns]
+        body = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN marks "failed"/absent points
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against, as offload policies.
+
+Every baseline runs on the same simulator and engine as Ratel; the only
+difference is the compiled schedule (where states live, how the
+optimizer runs, which activations move) plus documented efficiency
+constants calibrated to the paper's measurements.
+"""
+
+from .capuchin import CapuchinPolicy
+from .checkmate import CheckmatePolicy
+from .colossalai import ColossalAIPolicy
+from .deepspeed import ZeroInfinityPolicy, ZeroOffloadPolicy
+from .fastdit import FastDiTPolicy
+from .flashneuron import FlashNeuronPolicy
+from .g10 import G10ActivationPolicy, G10Policy
+from .megatron import MegatronPolicy
+
+__all__ = [
+    "CapuchinPolicy",
+    "CheckmatePolicy",
+    "ColossalAIPolicy",
+    "ZeroInfinityPolicy",
+    "ZeroOffloadPolicy",
+    "FastDiTPolicy",
+    "FlashNeuronPolicy",
+    "G10ActivationPolicy",
+    "G10Policy",
+    "MegatronPolicy",
+]

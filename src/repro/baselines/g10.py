@@ -1,0 +1,142 @@
+"""G10 baseline (paper §III-C).
+
+G10 unifies main memory and NVMe into one tensor pool and migrates both
+model states and activations there, relying on GPUDirect Storage.  Its
+three issues, all visible in our schedule:
+
+1. the Adam optimizer runs on the *GPU*, so every step streams 12 + 14
+   bytes/param of model states across PCIe and the SSD array while the
+   GPU idles (Fig. 1b: 0.1 s of compute waiting on 13 s of transfer);
+2. it offloads (almost) all activations without recomputation — ~213 GB
+   for the 13B/bs32 workload — throttling the forward stage;
+3. GPUDirect does not exist on consumer GPUs, so the real system cannot
+   run there at all.  The paper *simulates* G10 on the 4090 assuming
+   GPUDirect and perfect pipelining; ``assume_gpudirect=True`` mirrors
+   that setup.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.spec import ServerSpec
+from repro.hardware.units import GB
+from repro.models.profile import ModelProfile
+
+from repro.core.hwprofile import profile_hardware
+from repro.core.memory_model import ResourceNeeds, gpu_working_set
+from repro.core.policy import OffloadPolicy
+from repro.core.schedule import (
+    IterationSchedule,
+    OptimizerMode,
+    StatesLocation,
+    build_blocks,
+)
+
+#: Host pool bookkeeping for the unified-memory runtime.
+POOL_BASE_BYTES = 8 * GB
+
+
+class G10ActivationPolicy(OffloadPolicy):
+    """"Ratel+G10" (§V-E): G10's activation plan on Ratel's state engine.
+
+    G10 ranks tensors by inactive time; on a transformer chain, every
+    activation's inactive period spans the rest of forward plus most of
+    backward, so effectively *all* activations migrate (main memory
+    first, SSD overflow) and nothing is recomputed.  Model states stay on
+    SSD with Ratel's active gradient offloading, which is what the
+    paper's ablation holds fixed.
+    """
+
+    name = "Ratel+G10"
+
+    def supported_on(self, server: ServerSpec) -> bool:
+        """Model states and activation overflow live on the SSD array."""
+        return server.n_ssds >= 1
+
+    def _activation_split(
+        self, profile: ModelProfile, server: ServerSpec
+    ) -> tuple[float, float]:
+        from repro.core.memory_model import active_offload_main_overhead
+
+        overhead = active_offload_main_overhead(profile)
+        hw = profile_hardware(server, main_memory_overhead=overhead)
+        total = profile.activation_bytes_total
+        to_main = min(total, hw.mem_avail_main)
+        return to_main, total - to_main
+
+    def memory_needs(self, profile: ModelProfile, server: ServerSpec) -> ResourceNeeds:
+        from repro.core.memory_model import active_offload_main_overhead
+
+        to_main, to_ssd = self._activation_split(profile, server)
+        return ResourceNeeds(
+            gpu_bytes=gpu_working_set(profile),
+            main_bytes=active_offload_main_overhead(profile) + to_main,
+            ssd_bytes=profile.states.total + to_ssd,
+        )
+
+    def compile(self, profile: ModelProfile, server: ServerSpec) -> IterationSchedule:
+        to_main, to_ssd = self._activation_split(profile, server)
+        blocks = build_blocks(
+            profile,
+            act_to_main_total=to_main,
+            act_to_ssd_total=to_ssd,
+            recompute_flops_total=0.0,
+        )
+        return IterationSchedule(
+            name=self.name,
+            model=profile,
+            blocks=blocks,
+            states_location=StatesLocation.SSD,
+            optimizer_mode=OptimizerMode.ACTIVE_OPTIMIZED,
+            prefetch_depth=3,
+        )
+
+
+class G10Policy(OffloadPolicy):
+    """Unified main/NVMe tensor pool with a GPU-resident optimizer."""
+
+    name = "G10"
+
+    def __init__(self, assume_gpudirect: bool = False) -> None:
+        self.assume_gpudirect = assume_gpudirect
+
+    def supported_on(self, server: ServerSpec) -> bool:
+        """Requires GPUDirect (or the paper's simulation assumption) + SSDs."""
+        if server.n_ssds < 1:
+            return False
+        return server.gpu.supports_gpudirect or self.assume_gpudirect
+
+    def _activation_split(
+        self, profile: ModelProfile, server: ServerSpec
+    ) -> tuple[float, float]:
+        """All activations offload; main memory first, SSD overflow."""
+        hw = profile_hardware(server, main_memory_overhead=POOL_BASE_BYTES)
+        total = profile.activation_bytes_total
+        to_main = min(total, hw.mem_avail_main)
+        return to_main, total - to_main
+
+    def memory_needs(self, profile: ModelProfile, server: ServerSpec) -> ResourceNeeds:
+        to_main, to_ssd = self._activation_split(profile, server)
+        return ResourceNeeds(
+            gpu_bytes=gpu_working_set(profile),
+            main_bytes=POOL_BASE_BYTES + to_main,
+            ssd_bytes=profile.states.total + to_ssd,
+        )
+
+    def compile(self, profile: ModelProfile, server: ServerSpec) -> IterationSchedule:
+        to_main, to_ssd = self._activation_split(profile, server)
+        blocks = build_blocks(
+            profile,
+            act_to_main_total=to_main,
+            act_to_ssd_total=to_ssd,
+            recompute_flops_total=0.0,  # G10 does not recompute
+        )
+        return IterationSchedule(
+            name=self.name,
+            model=profile,
+            blocks=blocks,
+            states_location=StatesLocation.SSD,
+            optimizer_mode=OptimizerMode.DEFERRED_GPU,
+            prefetch_depth=3,
+            sync_overhead_per_block=0.0,
+            use_gpudirect=True,
+        )

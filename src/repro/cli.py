@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``        — feasibility, Algorithm-1 plan and simulated iteration
+  for a model/batch on a configurable server (the
+  ``examples/plan_175b_on_4090.py`` flow, parameterised).
+* ``maxsize``     — the max-trainable-size frontier per system (Fig. 6
+  style) for one server configuration.
+* ``experiments`` — run the paper's experiment harnesses by id
+  (``fig1`` ... ``fig13``, or ``all``) and print the tables.
+* ``trace``       — export one simulated Ratel iteration as a
+  Chrome/Perfetto trace JSON (the Fig. 1 timeline, interactive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import (
+    ColossalAIPolicy,
+    FlashNeuronPolicy,
+    ZeroInfinityPolicy,
+    ZeroOffloadPolicy,
+)
+from repro.core import RatelPolicy, check_feasible, max_trainable_params
+from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server, fmt_bytes
+from repro.models import LLM_PRESETS, llm, profile_model
+from repro.sim import write_chrome_trace
+
+_GPUS = {"4090": RTX_4090, "3090": RTX_3090, "4080": RTX_4080}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ratel (ICDE 2025) reproduction: planning, capacity and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="plan and simulate one workload")
+    _server_args(plan)
+    plan.add_argument("model", choices=sorted(LLM_PRESETS), help="Table IV model")
+    plan.add_argument("batch", type=int, help="batch size")
+
+    maxsize = sub.add_parser("maxsize", help="max trainable size per system")
+    _server_args(maxsize)
+    maxsize.add_argument("--batch", type=int, default=1)
+
+    experiments = sub.add_parser("experiments", help="run paper experiments")
+    experiments.add_argument(
+        "ids", nargs="*", default=["all"],
+        help="experiment ids (fig1, fig2, fig5-fig13) or 'all'",
+    )
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    trace = sub.add_parser("trace", help="export a Ratel iteration timeline")
+    _server_args(trace)
+    trace.add_argument("model", choices=sorted(LLM_PRESETS))
+    trace.add_argument("batch", type=int)
+    trace.add_argument("-o", "--output", default="iteration.json")
+    return parser
+
+
+def _server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpu", choices=sorted(_GPUS), default="4090")
+    parser.add_argument("--memory-gb", type=int, default=768, help="main memory (GiB)")
+    parser.add_argument("--ssds", type=int, default=12)
+
+
+def _server_from(args) -> "ServerSpec":  # noqa: F821
+    return evaluation_server(
+        gpu=_GPUS[args.gpu],
+        main_memory_bytes=args.memory_gb * GiB,
+        n_ssds=args.ssds,
+    )
+
+
+def cmd_plan(args, out) -> int:
+    server = _server_from(args)
+    profile = profile_model(llm(args.model), args.batch)
+    ratel = RatelPolicy()
+    report = check_feasible(ratel, profile, server)
+    if not report.feasible:
+        missing = ", ".join(
+            f"{tier} short {fmt_bytes(byte)}" for tier, byte in report.shortfalls.items()
+        )
+        print(f"{args.model} at batch {args.batch} does NOT fit: {missing}", file=out)
+        return 1
+    plan = ratel.plan(profile, server)
+    result = ratel.simulate(profile, server)
+    print(
+        f"{args.model} batch {args.batch} on {server.gpu.name} / "
+        f"{args.memory_gb} GiB / {args.ssds} SSDs",
+        file=out,
+    )
+    print(
+        f"  plan: swap {fmt_bytes(plan.a_g2m)} "
+        f"(main {fmt_bytes(plan.a_to_main)}, SSD {fmt_bytes(plan.a_to_ssd)}), "
+        f"case {plan.case.name}",
+        file=out,
+    )
+    print(result.summary(), file=out)
+    return 0
+
+
+def cmd_maxsize(args, out) -> int:
+    server = _server_from(args)
+    policies = (
+        FlashNeuronPolicy(),
+        ColossalAIPolicy(),
+        ZeroInfinityPolicy(),
+        ZeroOffloadPolicy(),
+        RatelPolicy(),
+    )
+    print(
+        f"max trainable size on {server.gpu.name} / {args.memory_gb} GiB / "
+        f"{args.ssds} SSDs (batch {args.batch}):",
+        file=out,
+    )
+    for policy in policies:
+        best = max_trainable_params(policy, server, batch_size=args.batch)
+        print(f"  {policy.name:15s} {best / 1e9:7.1f}B", file=out)
+    return 0
+
+
+def cmd_experiments(args, out) -> int:
+    from repro import experiments as exp
+
+    ids = set(args.ids)
+    run_all = "all" in ids
+    ran = 0
+    for module in exp.ALL_MODULES:
+        module_id = module.__name__.split(".")[-1].split("_")[0]
+        if not run_all and module_id not in ids:
+            continue
+        outcome = module.run()
+        results = [outcome] if isinstance(outcome, ExperimentResult) else outcome
+        for result in results:
+            print(result.render(), file=out)
+            print(file=out)
+        ran += 1
+    if ran == 0:
+        known = sorted(
+            module.__name__.split(".")[-1].split("_")[0] for module in exp.ALL_MODULES
+        )
+        print(f"no experiment matched {sorted(ids)}; known ids: {known}", file=out)
+        return 1
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.experiments.report_writer import write_report
+
+    write_report(args.output)
+    print(f"wrote {args.output}", file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    server = _server_from(args)
+    profile = profile_model(llm(args.model), args.batch)
+    ratel = RatelPolicy()
+    result = ratel.simulate(profile, server)
+    write_chrome_trace(result.trace, args.output, stage_windows=result.stage_windows)
+    print(
+        f"wrote {args.output}: {len(result.trace.intervals)} events over "
+        f"{result.iteration_time:.1f} s (open in chrome://tracing or Perfetto)",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "plan": cmd_plan,
+        "maxsize": cmd_maxsize,
+        "experiments": cmd_experiments,
+        "report": cmd_report,
+        "trace": cmd_trace,
+    }
+    return handlers[args.command](args, out)

@@ -1,0 +1,93 @@
+"""Ratel's core: profiling, planning, scheduling and execution.
+
+Public surface:
+
+* :func:`~repro.core.hwprofile.profile_hardware` — §IV-B hardware-aware
+  profiling.
+* :class:`~repro.core.iteration_model.IterationTimeModel` — the analytic
+  Eq. 1-8 model.
+* :func:`~repro.core.activation_swap.plan_activation_swapping` —
+  Algorithm 1.
+* :class:`~repro.core.ratel.RatelPolicy` — the system itself (plus
+  ablation variants).
+* :func:`~repro.core.engine.run_iteration` — discrete-event execution.
+* :mod:`~repro.core.capacity` — max-trainable-size / max-batch planners.
+"""
+
+from .activation_swap import SwapCase, SwapPlan, plan_activation_swapping, sweep_iteration_time
+from .capacity import (
+    FeasibilityReport,
+    check_feasible,
+    max_batch_size,
+    max_trainable_params,
+)
+from .engine import IterationResult, run_iteration
+from .gradient_offload import OffloadTimelines, analyze as analyze_gradient_offload, overlap_pays
+from .hwprofile import HardwareProfile, ProfilingError, profile_hardware
+from .iteration_model import (
+    IterationEstimate,
+    IterationTimeModel,
+    StageTime,
+    is_convex_on_grid,
+)
+from .memory_model import (
+    InfeasibleError,
+    ResourceNeeds,
+    active_offload_main_overhead,
+    gpu_working_set,
+)
+from .policy import OffloadPolicy
+from .profiling import ProfilingReport, ProfilingRunError, profiling_schedule, run_profiling
+from .ratel import RatelPolicy
+from .validation import AgreementPoint, StarQuality, run_agreement_report, run_star_quality_report, star_quality, sweep_agreement
+from .schedule import (
+    BlockTask,
+    IterationSchedule,
+    OptimizerMode,
+    StatesLocation,
+    build_blocks,
+)
+
+__all__ = [
+    "SwapCase",
+    "SwapPlan",
+    "plan_activation_swapping",
+    "sweep_iteration_time",
+    "FeasibilityReport",
+    "check_feasible",
+    "max_batch_size",
+    "max_trainable_params",
+    "IterationResult",
+    "run_iteration",
+    "OffloadTimelines",
+    "analyze_gradient_offload",
+    "overlap_pays",
+    "HardwareProfile",
+    "ProfilingError",
+    "profile_hardware",
+    "IterationEstimate",
+    "IterationTimeModel",
+    "StageTime",
+    "is_convex_on_grid",
+    "InfeasibleError",
+    "ResourceNeeds",
+    "active_offload_main_overhead",
+    "gpu_working_set",
+    "OffloadPolicy",
+    "ProfilingReport",
+    "ProfilingRunError",
+    "profiling_schedule",
+    "run_profiling",
+    "RatelPolicy",
+    "BlockTask",
+    "IterationSchedule",
+    "OptimizerMode",
+    "StatesLocation",
+    "build_blocks",
+    "AgreementPoint",
+    "StarQuality",
+    "run_agreement_report",
+    "run_star_quality_report",
+    "star_quality",
+    "sweep_agreement",
+]

@@ -1,0 +1,110 @@
+"""Capacity planning: what fits where (Figs. 2a, 6, 8; Table V).
+
+Built entirely on the :class:`~repro.core.policy.OffloadPolicy`
+interface: a policy declares per-tier byte needs, the planner searches
+over model size or batch size for the feasibility frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+from repro.models.config import synthetic_llm
+from repro.models.profile import ModelProfile, profile_model
+
+from .policy import OffloadPolicy
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check with per-tier shortfalls."""
+
+    policy: str
+    model: str
+    batch_size: int
+    feasible: bool
+    shortfalls: dict[str, float]
+
+
+def check_feasible(
+    policy: OffloadPolicy, profile: ModelProfile, server: ServerSpec
+) -> FeasibilityReport:
+    """Feasibility of one workload with a tier-by-tier explanation."""
+    if not policy.supported_on(server):
+        return FeasibilityReport(
+            policy=policy.name,
+            model=profile.config.name,
+            batch_size=profile.batch_size,
+            feasible=False,
+            shortfalls={"hardware": float("inf")},
+        )
+    shortfalls = policy.memory_needs(profile, server).shortfalls(server)
+    return FeasibilityReport(
+        policy=policy.name,
+        model=profile.config.name,
+        batch_size=profile.batch_size,
+        feasible=not shortfalls,
+        shortfalls=shortfalls,
+    )
+
+
+def max_trainable_params(
+    policy: OffloadPolicy,
+    server: ServerSpec,
+    *,
+    batch_size: int = 1,
+    lo: float = 0.1e9,
+    hi: float = 700e9,
+    tolerance: float = 0.02,
+) -> float:
+    """Largest trainable parameter count, by bisection over model width.
+
+    Uses the synthetic Table-IV-shaped family (hidden = 128 * layers), so
+    the answer is a continuous "max model size" like the paper's Fig. 6
+    curves.  Returns 0.0 when even the smallest candidate fails.
+    """
+    if not _fits(policy, lo, batch_size, server):
+        return 0.0
+    if _fits(policy, hi, batch_size, server):
+        return _actual_params(hi)
+    while hi / lo > 1 + tolerance:
+        mid = (lo * hi) ** 0.5
+        if _fits(policy, mid, batch_size, server):
+            lo = mid
+        else:
+            hi = mid
+    return _actual_params(lo)
+
+
+def max_batch_size(
+    policy: OffloadPolicy,
+    config,
+    server: ServerSpec,
+    *,
+    candidates: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128),
+    cap: int | None = None,
+) -> int:
+    """Largest feasible batch size among ``candidates`` (0 when none fit).
+
+    ``cap`` bounds the search (the paper caps the Fig. 9a/Table V sweep
+    at batch 32).
+    """
+    best = 0
+    for batch in candidates:
+        if cap is not None and batch > cap:
+            break
+        profile = profile_model(config, batch)
+        if policy.feasible(profile, server):
+            best = batch
+    return best
+
+
+def _fits(policy: OffloadPolicy, n_params: float, batch_size: int, server: ServerSpec) -> bool:
+    config = synthetic_llm(n_params)
+    profile = profile_model(config, batch_size)
+    return policy.feasible(profile, server)
+
+
+def _actual_params(n_params: float) -> float:
+    return float(synthetic_llm(n_params).n_params)

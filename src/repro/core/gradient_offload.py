@@ -1,0 +1,99 @@
+"""Closed-form analysis of the gradient-offloading schedules (Fig. 3).
+
+The engine executes the naive/optimized/deferred optimizer pipelines
+event by event; this module predicts their stage times analytically, so
+the Fig. 7 ablation has a cross-check and planners can reason about
+*when active offloading pays* without running the simulator:
+
+* **deferred** (Ratel+ZeRO): the optimizer is a separate stage after
+  backward — ``T = T_bwd + max(CPU, SSD I/O)``.
+* **naive** (Fig. 3a): per-gradient handlers serialize read -> compute ->
+  write; handlers for successive gradients queue behind each other, so
+  the stage ends no earlier than the first gradient's arrival plus the
+  *sum* of all handler work.
+* **optimized** (Fig. 3b): reads, CPU compute and writes run as three
+  pipelined workers, so the optimizer's contribution collapses to the
+  *max* of the per-resource totals, overlapped with backward.
+
+The paper's Fig. 7 observation — the gain shrinks at small batches —
+falls out: with little backward compute to hide behind
+(``T_bwd ~ optimizer work``), all three variants converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.profile import ModelProfile
+
+from .hwprofile import HardwareProfile
+from .iteration_model import IterationTimeModel
+
+
+@dataclass(frozen=True)
+class OffloadTimelines:
+    """Predicted backward(+optimizer) stage times for the three variants."""
+
+    deferred: float
+    naive: float
+    optimized: float
+
+    @property
+    def optimized_vs_naive(self) -> float:
+        """Speedup of the pipelined handlers over serialized ones."""
+        return self.naive / self.optimized
+
+    @property
+    def optimized_vs_deferred(self) -> float:
+        """Speedup of active offloading over a separate optimizer stage."""
+        return self.deferred / self.optimized
+
+
+def analyze(model: ModelProfile, hardware: HardwareProfile) -> OffloadTimelines:
+    """Fig.-3 stage times for ``model`` on ``hardware``.
+
+    Uses the same quantities as Eq. 5 (gradient PCIe traffic, model-state
+    SSD traffic, CPU Adam work) and the backward GPU time at the
+    inter-block activation floor (the profiling schedule's plan, which
+    the Fig. 7 implementations share).
+    """
+    iteration = IterationTimeModel(model, hardware)
+    floor = model.inter_block_bytes
+    states = model.states
+
+    gpu_bwd = (
+        model.backward_flops + model.recompute_flops_for(floor)
+    ) / iteration.effective_thp
+    grads_pcie = states.g16 / hardware.bw_gpu
+    backward_span = max(gpu_bwd, grads_pcie)
+
+    cpu = model.n_params / hardware.cpu_adam_params_per_s
+    ssd_read = (states.optimizer_read + states.p16) / hardware.bw_s2m
+    ssd_write = states.optimizer_write / hardware.bw_m2s
+    io_total = ssd_read + ssd_write
+
+    deferred = backward_span + max(cpu, io_total)
+
+    # Naive: one handler at a time; the chain cannot start before the
+    # first gradient lands (one block of backward + its PCIe hop).
+    n = model.n_blocks
+    first_grad = gpu_bwd / n + grads_pcie / n
+    serial_handlers = io_total + cpu
+    naive = max(backward_span, first_grad + serial_handlers)
+
+    # Optimized: three workers pipeline; the slowest resource governs,
+    # again gated by the first gradient's arrival.
+    pipelined = max(cpu, io_total)
+    optimized = max(backward_span, first_grad + pipelined)
+
+    return OffloadTimelines(deferred=deferred, naive=naive, optimized=optimized)
+
+
+def overlap_pays(model: ModelProfile, hardware: HardwareProfile, threshold: float = 1.05) -> bool:
+    """Whether active offloading beats a deferred stage by > ``threshold``.
+
+    False at small batches (the paper's second Fig. 7 observation):
+    backward is too short to hide the optimizer behind.
+    """
+    timelines = analyze(model, hardware)
+    return timelines.optimized_vs_deferred > threshold

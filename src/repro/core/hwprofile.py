@@ -1,0 +1,79 @@
+"""Hardware-aware profiling (paper §IV-B).
+
+The profiling stage gathers everything the holistic swapping manager
+needs: peak GPU throughput ``THP_G``, PCIe bandwidths ``BW_G`` /
+``BW_S2M`` / ``BW_M2S``, the minimum unallocated main memory
+``MEM^avail_M``, and per-layer FLOPs/sizes (the latter live on
+:class:`repro.models.ModelProfile`).
+
+On the real system these numbers come from a first instrumented
+iteration; on our simulated server they derive from the
+:class:`~repro.hardware.ServerSpec` directly, so :func:`profile_hardware`
+plays the role of that first iteration.  ``overhead`` describes the main
+memory the executing policy itself occupies (pinned I/O buffers,
+optimizer windows), which determines how much is left for activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+
+
+class ProfilingError(ValueError):
+    """Raised when profiling inputs are inconsistent."""
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """The quantities in the paper's Table I that describe the machine.
+
+    ``mem_avail_main`` is MEM^avail_M: main-memory bytes left for holding
+    swapped activations after the policy's own buffers.  ``bw_s2m`` and
+    ``bw_m2s`` are the aggregate SSD-array rates; ``bw_gpu`` is the
+    per-direction GPU<->host PCIe rate.
+    """
+
+    thp_gpu: float
+    bw_gpu: float
+    bw_s2m: float
+    bw_m2s: float
+    mem_avail_main: float
+    cpu_adam_params_per_s: float
+    gpu_saturation_tokens: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.thp_gpu <= 0 or self.bw_gpu <= 0:
+            raise ProfilingError("GPU throughput and PCIe bandwidth must be positive")
+        if self.bw_s2m < 0 or self.bw_m2s < 0:
+            raise ProfilingError("SSD bandwidths cannot be negative")
+        if self.mem_avail_main < 0:
+            raise ProfilingError("available main memory cannot be negative")
+        if self.cpu_adam_params_per_s <= 0:
+            raise ProfilingError("CPU Adam throughput must be positive")
+
+
+def profile_hardware(
+    server: ServerSpec, *, main_memory_overhead: float = 0.0
+) -> HardwareProfile:
+    """Derive a :class:`HardwareProfile` from a server spec.
+
+    ``main_memory_overhead`` is the policy's resident main-memory use
+    (pinned staging, optimizer in-flight window); what remains of the
+    usable DRAM becomes ``mem_avail_main``.  A policy whose overhead
+    already exceeds usable DRAM is infeasible — callers detect that via
+    the capacity planner, so here the activation budget just clamps at 0.
+    """
+    if main_memory_overhead < 0:
+        raise ProfilingError("main memory overhead cannot be negative")
+    available = max(0.0, server.usable_main_memory_bytes - main_memory_overhead)
+    return HardwareProfile(
+        thp_gpu=server.gpu.peak_fp16_flops,
+        bw_gpu=server.gpu_link.bandwidth_per_dir,
+        bw_s2m=server.ssd_read_bw,
+        bw_m2s=server.ssd_write_bw,
+        mem_avail_main=available,
+        cpu_adam_params_per_s=server.cpu.adam_params_per_s,
+        gpu_saturation_tokens=server.gpu.saturation_tokens,
+    )

@@ -1,0 +1,202 @@
+"""Ratel's analytic iteration-time model (paper Eqs. 1-8).
+
+Given the amount of activations swapped out of the GPU, ``A_G2M``, the
+model predicts the forward and backward stage times as the maximum over
+the four contended resources — GPU compute, GPU->host PCIe, host->GPU
+PCIe, and the (simplex) SSD array — assuming compute and transfers are
+fully overlapped, which is what Ratel's pipelined engine achieves.
+
+With active gradient offloading (§IV-C), the optimizer runs inside the
+backward stage, so ``T_iter = T_f + T_b`` (Eq. 1) and the backward SSD
+term carries the optimizer's model-state traffic (Eq. 5).
+
+The module also proves the paper's convexity claim numerically:
+:func:`is_convex_on_grid` validates Theorems 1-4 on any model/hardware
+combination (exercised by the property-based tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import gpu_occupancy
+from repro.models.profile import ModelProfile
+
+from .hwprofile import HardwareProfile
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """One pipelined stage: total time plus the per-resource components."""
+
+    total: float
+    components: dict[str, float]
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the resource whose component equals the stage time."""
+        return max(self.components, key=self.components.__getitem__)
+
+    def utilization(self, component: str) -> float:
+        """Fraction of the stage this resource is busy (component / total)."""
+        if self.total <= 0:
+            return 0.0
+        return self.components[component] / self.total
+
+
+@dataclass(frozen=True)
+class IterationEstimate:
+    """Titer for one choice of ``A_G2M`` with full breakdowns."""
+
+    a_g2m: float
+    a_to_ssd: float
+    recompute_flops: float
+    forward: StageTime
+    backward: StageTime
+
+    @property
+    def total(self) -> float:
+        """T_iter = T_f + T_b (Eq. 1)."""
+        return self.forward.total + self.backward.total
+
+
+class IterationTimeModel:
+    """Evaluate Eqs. 2-5 for a model on profiled hardware.
+
+    The model is exact under the full-overlap assumption; Ratel's
+    discrete-event engine realises the same schedule, so the two agree to
+    within pipeline fill/drain effects (verified in the integration
+    tests).
+    """
+
+    def __init__(self, model: ModelProfile, hardware: HardwareProfile) -> None:
+        self.model = model
+        self.hardware = hardware
+
+    @property
+    def effective_thp(self) -> float:
+        """Peak GPU FLOPS discounted by kernel occupancy at this batch."""
+        occupancy = gpu_occupancy(
+            self.model.tokens_per_iteration, self.hardware.gpu_saturation_tokens
+        )
+        return self.hardware.thp_gpu * occupancy
+
+    # -- traffic helpers ---------------------------------------------------
+
+    def a_to_ssd(self, a_g2m: float) -> float:
+        """alpha * A_G2M (Eq. 3): activation bytes overflowing to SSDs.
+
+        Main memory absorbs swapped activations first; only the excess
+        over ``MEM^avail_M`` continues to the SSD array.
+        """
+        self._check_a_g2m(a_g2m)
+        return max(0.0, a_g2m - self.hardware.mem_avail_main)
+
+    def recompute_flops(self, a_g2m: float) -> float:
+        """FLOP_r for the benefit-ordered swap covering ``a_g2m`` bytes (Eq. 7)."""
+        return self.model.recompute_flops_for(a_g2m)
+
+    # -- stage times ---------------------------------------------------------
+
+    def forward_time(self, a_g2m: float) -> StageTime:
+        """T_f (Eq. 4).
+
+        Components: GPU forward compute; swapped activations leaving the
+        GPU; the fp16 parameters entering the GPU; and the SSD array
+        reading P16 plus absorbing the activation overflow.
+        """
+        hw = self.hardware
+        p16 = self.model.states.p16
+        spill = self.a_to_ssd(a_g2m)
+        components = {
+            "gpu": self.model.forward_flops / self.effective_thp,
+            "pcie_g2m": a_g2m / hw.bw_gpu,
+            "pcie_m2g": p16 / hw.bw_gpu,
+            "ssd": self._ssd_time(read=p16, write=spill),
+        }
+        return StageTime(max(components.values()), components)
+
+    def backward_time(self, a_g2m: float) -> StageTime:
+        """T_b (Eq. 5), optimizer traffic included via active offloading.
+
+        Components: GPU backward + recompute; gradients leaving the GPU;
+        parameters and swapped activations re-entering; and the SSD array
+        carrying the optimizer's model states (12P read + 14P written,
+        i.e. P32+OS32 both ways plus the fresh P16) plus P16 prefetch for
+        the next iteration and the activation overflow read back.
+        """
+        hw = self.hardware
+        states = self.model.states
+        flop_r = self.recompute_flops(a_g2m)
+        spill = self.a_to_ssd(a_g2m)
+        ssd_read = states.optimizer_read + states.p16 + spill  # 12P + 2P + spill
+        ssd_write = states.optimizer_write  # 14P
+        components = {
+            "gpu": (self.model.backward_flops + flop_r) / self.effective_thp,
+            "pcie_g2m": states.g16 / hw.bw_gpu,
+            "pcie_m2g": (states.p16 + a_g2m) / hw.bw_gpu,
+            "ssd": self._ssd_time(read=ssd_read, write=ssd_write),
+            "cpu_adam": self.model.n_params / hw.cpu_adam_params_per_s,
+        }
+        return StageTime(max(components.values()), components)
+
+    def estimate(self, a_g2m: float) -> IterationEstimate:
+        """Full :class:`IterationEstimate` for one swap amount."""
+        return IterationEstimate(
+            a_g2m=a_g2m,
+            a_to_ssd=self.a_to_ssd(a_g2m),
+            recompute_flops=self.recompute_flops(a_g2m),
+            forward=self.forward_time(a_g2m),
+            backward=self.backward_time(a_g2m),
+        )
+
+    def iteration_time(self, a_g2m: float) -> float:
+        """T_iter = T_f + T_b (Eq. 1)."""
+        return self.forward_time(a_g2m).total + self.backward_time(a_g2m).total
+
+    # -- internals -----------------------------------------------------------
+
+    def _ssd_time(self, *, read: float, write: float) -> float:
+        """Simplex SSD array time for a read+write mix.
+
+        Eq. 2's note: SSD I/O counts as a whole because reads and writes
+        share the lane budget; each direction moves at its own rate.
+        """
+        hw = self.hardware
+        if read == 0 and write == 0:
+            return 0.0
+        if hw.bw_s2m <= 0 or hw.bw_m2s <= 0:
+            raise ValueError("model requires SSD traffic but the server has no SSDs")
+        return read / hw.bw_s2m + write / hw.bw_m2s
+
+    def _check_a_g2m(self, a_g2m: float) -> None:
+        if a_g2m < 0:
+            raise ValueError(f"A_G2M cannot be negative, got {a_g2m}")
+        limit = self.model.activation_bytes_total
+        if a_g2m > limit * (1 + 1e-9):
+            raise ValueError(
+                f"A_G2M {a_g2m:.3e} exceeds total activations {limit:.3e}"
+            )
+
+
+def is_convex_on_grid(model: IterationTimeModel, n_points: int = 64) -> bool:
+    """Check T_iter's convexity in A_G2M on an even grid (paper §IV-D proof).
+
+    Convexity is what lets Algorithm 1 stop at the first inflection; this
+    numeric check backs the paper's analytic proof on arbitrary inputs.
+    The grid covers the algorithm's valid domain
+    ``[A_interBlock, A_all]`` — below the floor the embedding output
+    (zero recompute FLOPs, always swapped first) makes FLOP_r flat and
+    the curve non-convex, which is precisely why the paper enforces
+    ``A_G2M >= A_interBlock``.  A small relative tolerance absorbs
+    floating-point noise.
+    """
+    lo = model.model.inter_block_bytes
+    total = model.model.activation_bytes_total
+    xs = [lo + (total - lo) * i / (n_points - 1) for i in range(n_points)]
+    ys = [model.iteration_time(x) for x in xs]
+    scale = max(ys) if ys else 1.0
+    for i in range(1, n_points - 1):
+        if ys[i] > (ys[i - 1] + ys[i + 1]) / 2 + 1e-9 * scale:
+            return False
+    return True

@@ -1,0 +1,121 @@
+"""Memory-footprint models used by the capacity planner.
+
+Each offloading system needs a certain amount of GPU memory, main memory
+and SSD capacity to train a given model at a given batch size.  The
+component formulas here are first-principles (what must be resident
+where, and when) with a small number of calibrated constants documented
+against the paper's anchors (DESIGN.md §4):
+
+* Ratel trains 175B with 256 GB DRAM (4080/4090) and 276B with 768 GB on
+  a 4090, but not 412B — the 24 GB GPU working set binds there.
+* ZeRO-Infinity tops out around 135B at 768 GB (~5.3 bytes/param of
+  host-side buffers); ZeRO-Offload around 40-46B (full 16 B/param states
+  in DRAM); FlashNeuron at ~1.5B (16 B/param *on the GPU*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+from repro.hardware.units import GB
+from repro.models.layers import FP16
+from repro.models.profile import ModelProfile
+
+#: Fraction of one block's activations live on the GPU at once.  The
+#: kernels stream: while a sublayer computes, its inputs and outputs are
+#: resident but earlier tensors have already drained or been discarded.
+ACT_LIVE_FRACTION = 0.6
+
+#: Pinned staging (SSD I/O ring buffers, transfer queues) plus framework
+#: bookkeeping resident in main memory for SSD-offloading systems.
+PINNED_BASE_BYTES = 14 * GB
+
+#: Blocks of model states the active-gradient-offloading pipeline keeps
+#: in flight in main memory (read-ahead window + gradient landing zone +
+#: write-back queue), at 16 bytes/param per block.
+OPT_WINDOW_BLOCKS = 7
+
+#: ZeRO-Infinity's host-side bytes per parameter: fp32 gradient buckets,
+#: partitioned-parameter staging and pinned swap buffers (calibrated to
+#: the ~135B-at-768GB anchor).
+ZERO_INFINITY_HOST_BYTES_PER_PARAM = 5.3
+
+#: Colossal-AI's Gemini chunk manager keeps somewhat more host state.
+COLOSSAL_HOST_BYTES_PER_PARAM = 6.0
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when a policy cannot run a workload on a server at all."""
+
+
+@dataclass(frozen=True)
+class ResourceNeeds:
+    """Bytes a workload requires on each memory tier."""
+
+    gpu_bytes: float
+    main_bytes: float
+    ssd_bytes: float
+
+    def fits(self, server: ServerSpec) -> bool:
+        """True when every tier's requirement fits the server."""
+        return not self.shortfalls(server)
+
+    def shortfalls(self, server: ServerSpec) -> dict[str, float]:
+        """Bytes missing per tier (empty when feasible)."""
+        missing: dict[str, float] = {}
+        if self.gpu_bytes > server.gpu.usable_memory_bytes:
+            missing["gpu"] = self.gpu_bytes - server.gpu.usable_memory_bytes
+        if self.main_bytes > server.usable_main_memory_bytes:
+            missing["main"] = self.main_bytes - server.usable_main_memory_bytes
+        if self.ssd_bytes > server.ssd_capacity_bytes:
+            missing["ssd"] = self.ssd_bytes - server.ssd_capacity_bytes
+        return missing
+
+
+def gpu_working_set(
+    profile: ModelProfile,
+    *,
+    states_resident: bool = False,
+    param_buffers: int = 2,
+    inter_block_resident: bool = False,
+    act_live_fraction: float = ACT_LIVE_FRACTION,
+) -> float:
+    """GPU bytes a streaming offload engine needs for ``profile``.
+
+    Components:
+
+    * model states when the system keeps them on-GPU (FlashNeuron:
+      16 bytes/param), otherwise a ``param_buffers``-deep fp16 prefetch
+      window plus the current block's fp16 gradient;
+    * the embedding + head weights and their gradients, which every
+      system keeps resident (they are needed at both ends of the
+      pipeline);
+    * the live slice of one block's activations;
+    * optionally the inter-block checkpoints (Colossal-AI keeps them in
+      device memory).
+    """
+    block_param_bytes = FP16 * profile.block.param_count
+    embed_bytes = 2 * FP16 * profile.config.embedding_params  # weights + grads
+    act_live = act_live_fraction * profile.block.activation_bytes
+    if states_resident:
+        need = profile.states.total + act_live + embed_bytes
+    else:
+        need = (param_buffers + 1) * block_param_bytes + embed_bytes + act_live
+    if inter_block_resident:
+        need += profile.inter_block_bytes
+    return need
+
+
+def active_offload_main_overhead(
+    profile: ModelProfile, *, window_blocks: int = OPT_WINDOW_BLOCKS
+) -> float:
+    """Main-memory bytes Ratel's pipeline occupies besides activations.
+
+    The active-gradient-offloading window holds, per in-flight block,
+    the fp32 states being updated (12 B/param), the landing fp16 gradient
+    (2 B/param) and the outgoing fp16 parameters (2 B/param) — 16 B/param
+    across ``window_blocks`` blocks — plus the pinned staging base.
+    """
+    per_block = 16.0 * profile.block.param_count
+    return PINNED_BASE_BYTES + window_blocks * per_block

@@ -1,0 +1,155 @@
+"""Data-parallel execution on a multi-GPU commodity server (paper §V-G).
+
+The paper's 4x RTX 4090 machine shares one host: all GPUs contend for
+the same main memory, SSD array and CPU-Adam workers.  Ratel (and
+ZeRO-Infinity) run data-parallel: each GPU processes ``global_batch / n``
+sequences, gradients reduce through host memory, and one out-of-core
+optimizer updates the shared model states.
+
+Simulation structure:
+
+* one :class:`~repro.sim.Machine` with per-GPU compute/PCIe channels and
+  shared ``ssd`` / ``cpu_adam`` channels;
+* one engine worker per GPU (forward + backward + gradient offload),
+  with only worker 0 paying the SSD cost for parameter reads (the others
+  hit the host page cache — the PCIe cost remains per-GPU);
+* a shared optimizer whose per-block gradient trigger is the AllOf of
+  every worker's gradient arrival, modelling the host-side reduction
+  barrier (the reduction's memory-bound compute is negligible next to
+  Adam and is not charged separately).
+
+For planning, each GPU sees a 1/n slice of host memory and SSD bandwidth
+(:func:`per_gpu_view`), so policies make per-GPU decisions consistent
+with the shared budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import profile_model
+
+from .engine import _IterationRun
+from .memory_model import InfeasibleError
+from .policy import OffloadPolicy
+from .schedule import OptimizerMode
+from repro.sim.resources import Machine
+from repro.sim.trace import Trace
+
+
+@dataclass
+class MultiGPUResult:
+    """Outcome of one data-parallel iteration."""
+
+    policy: str
+    n_gpus: int
+    global_batch: int
+    tokens_per_iteration: int
+    iteration_time: float
+    trace: Trace
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Global training throughput (Fig. 11's metric)."""
+        return self.tokens_per_iteration / self.iteration_time
+
+
+def per_gpu_view(server: ServerSpec) -> ServerSpec:
+    """The share of the server one data-parallel GPU can plan around."""
+    n = server.n_gpus
+    if n == 1:
+        return server
+    return replace(
+        server,
+        n_gpus=1,
+        main_memory_bytes=server.main_memory_bytes / n,
+        ssd_platform_bw_cap=server.ssd_platform_bw_cap / n,
+        host_reserved_bytes=server.host_reserved_bytes / n,
+    )
+
+
+def run_data_parallel(
+    policy: OffloadPolicy,
+    config,
+    global_batch: int,
+    server: ServerSpec,
+    *,
+    check: bool = True,
+) -> MultiGPUResult:
+    """Simulate one data-parallel iteration of ``policy`` on ``server``."""
+    n = server.n_gpus
+    if global_batch % n != 0:
+        raise ValueError(f"global batch {global_batch} not divisible by {n} GPUs")
+    per_batch = global_batch // n
+    per_profile = profile_model(config, per_batch)
+    view = per_gpu_view(server)
+    if check and not policy.feasible(per_profile, view):
+        raise InfeasibleError(
+            f"{policy.name} cannot fit {config.name} at global batch "
+            f"{global_batch} on {n} GPUs"
+        )
+    schedule = policy.compile(per_profile, view)
+
+    machine = Machine(server)
+    workers = [
+        _IterationRun(
+            machine,
+            schedule,
+            gpu=i,
+            run_optimizer=False,
+            state_reads_from_ssd=(i == 0),
+        )
+        for i in range(n)
+    ]
+    optimizer = _IterationRun(machine, schedule, gpu=0)
+    # Reduction barrier: the shared optimizer's per-block gradient is
+    # ready once every worker's copy has landed in host memory.
+    optimizer.grad_arrived = [
+        machine.sim.all_of([worker.grad_arrived[b] for worker in workers])
+        for b in range(schedule.n_blocks)
+    ]
+
+    active = schedule.optimizer_mode in (
+        OptimizerMode.ACTIVE_OPTIMIZED,
+        OptimizerMode.ACTIVE_NAIVE,
+    )
+
+    def orchestrate():
+        worker_procs = [machine.sim.process(worker.main()) for worker in workers]
+        if active:
+            opt_procs = optimizer._spawn_active_optimizer()
+            yield machine.sim.all_of(worker_procs + opt_procs)
+        else:
+            yield machine.sim.all_of(worker_procs)
+            yield machine.sim.all_of(optimizer._spawn_deferred_optimizer())
+
+    machine.sim.process(orchestrate())
+    end = machine.run()
+    return MultiGPUResult(
+        policy=policy.name,
+        n_gpus=n,
+        global_batch=global_batch,
+        tokens_per_iteration=global_batch * config.seq_len,
+        iteration_time=end,
+        trace=machine.trace,
+    )
+
+
+def max_global_batch(
+    policy: OffloadPolicy,
+    config,
+    server: ServerSpec,
+    candidates: tuple[int, ...] = (16, 32, 48, 64, 96, 128, 256, 512),
+) -> int:
+    """Largest feasible global batch for a data-parallel run (0 if none)."""
+    n = server.n_gpus
+    view = per_gpu_view(server)
+    best = 0
+    for batch in candidates:
+        if batch % n != 0:
+            continue
+        profile = profile_model(config, batch // n)
+        if policy.feasible(profile, view):
+            best = batch
+    return best

@@ -1,0 +1,78 @@
+"""The offloading-policy interface.
+
+Ratel and every baseline implement :class:`OffloadPolicy`: given a model
+profile and a server, a policy (a) states its memory requirements per
+tier, and (b) compiles an :class:`~repro.core.schedule.IterationSchedule`
+for the discrete-event engine.  The capacity planner and all experiment
+harnesses work purely against this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import ModelProfile
+
+from .engine import IterationResult, run_iteration
+from .memory_model import InfeasibleError, ResourceNeeds
+from .schedule import IterationSchedule
+
+
+class OffloadPolicy(abc.ABC):
+    """One tensor-offloading system (Ratel or a baseline)."""
+
+    #: Human-readable system name, as used in the paper's figures.
+    name: str = "abstract"
+
+    def supported_on(self, server: ServerSpec) -> bool:
+        """Whether the system can run on this hardware at all.
+
+        Policies override this for hard requirements (G10 needs
+        GPUDirect; SSD-offloading systems need SSDs).
+        """
+        return True
+
+    @abc.abstractmethod
+    def memory_needs(self, profile: ModelProfile, server: ServerSpec) -> ResourceNeeds:
+        """Per-tier byte requirements for this workload."""
+
+    @abc.abstractmethod
+    def compile(self, profile: ModelProfile, server: ServerSpec) -> IterationSchedule:
+        """Build the iteration schedule the engine will execute."""
+
+    def feasible(self, profile: ModelProfile, server: ServerSpec) -> bool:
+        """True when the workload fits this server under this policy."""
+        if not self.supported_on(server):
+            return False
+        return self.memory_needs(profile, server).fits(server)
+
+    def simulate(
+        self, profile: ModelProfile, server: ServerSpec, *, check: bool = True
+    ) -> IterationResult:
+        """Run one simulated iteration (checking feasibility first).
+
+        Pass ``check=False`` to time a workload that would not actually
+        fit — used only by the motivation experiments that quantify *why*
+        a configuration fails.
+        """
+        if check:
+            self.require_feasible(profile, server)
+        return run_iteration(server, self.compile(profile, server))
+
+    def require_feasible(self, profile: ModelProfile, server: ServerSpec) -> None:
+        """Raise :class:`InfeasibleError` with a tier-by-tier explanation."""
+        if not self.supported_on(server):
+            raise InfeasibleError(
+                f"{self.name} is not supported on {server.name!r} "
+                f"(hardware requirement not met)"
+            )
+        shortfalls = self.memory_needs(profile, server).shortfalls(server)
+        if shortfalls:
+            detail = ", ".join(
+                f"{tier}: {missing / 1e9:.1f} GB short" for tier, missing in shortfalls.items()
+            )
+            raise InfeasibleError(
+                f"{self.name} cannot fit {profile.config.name} "
+                f"(batch {profile.batch_size}) on {server.name!r}: {detail}"
+            )

@@ -1,0 +1,159 @@
+"""The hardware-aware profiling *stage* (paper §IV-B), executed.
+
+:func:`repro.core.hwprofile.profile_hardware` reads the numbers off the
+server spec; this module instead *measures* them the way the real Ratel
+does: it runs one instrumented profiling iteration — the conservative
+ZeRO-style schedule (inter-block activations offloaded, everything else
+recomputed, all model states on SSD, no overlap optimizations) — and
+derives ``THP_G``, ``BW_G``, ``BW_S2M``/``BW_M2S``, ``T_f``/``T_b`` and
+``MEM^avail_M`` from the recorded trace.
+
+On the simulator the measured values converge to the spec values (the
+tests assert this), but the machinery is the real one: rates come from
+``amount / busy_time`` over trace intervals, not from configuration.
+
+The paper notes the profiling iteration costs 2-3x a normal iteration;
+:attr:`ProfilingReport.overhead_vs_ratel` reproduces that figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec, gpu_occupancy
+from repro.models.profile import ModelProfile
+
+from .engine import IterationResult, run_iteration
+from .hwprofile import HardwareProfile
+from .memory_model import active_offload_main_overhead
+from .schedule import IterationSchedule, OptimizerMode, StatesLocation, build_blocks
+
+
+class ProfilingRunError(RuntimeError):
+    """Raised when the profiling iteration cannot produce a measurement."""
+
+
+@dataclass(frozen=True)
+class ProfilingReport:
+    """Everything the profiling stage gathered (paper Table I subset)."""
+
+    hardware: HardwareProfile
+    forward_time: float
+    backward_time: float
+    optimizer_time: float
+    iteration_time: float
+    result: IterationResult
+
+    @property
+    def overhead_vs_ratel(self) -> float:
+        """Profiling-iteration time over a typical optimized iteration.
+
+        The profiling schedule serializes the optimizer and recomputes
+        everything intra-block, so this lands around the paper's "2~3x".
+        """
+        # A fully-overlapped iteration is bounded below by the larger of
+        # the GPU work and the SSD traffic of an optimized schedule.
+        model = self.result.schedule.model
+        occupancy = gpu_occupancy(
+            model.tokens_per_iteration, self.hardware.gpu_saturation_tokens
+        )
+        gpu = (model.forward_flops + model.backward_flops) / (
+            self.hardware.thp_gpu * occupancy
+        )
+        states = model.states
+        ssd = (
+            (states.optimizer_read + 2 * states.p16) / self.hardware.bw_s2m
+            + states.optimizer_write / self.hardware.bw_m2s
+        )
+        optimized_floor = max(gpu, ssd)
+        return self.iteration_time / optimized_floor
+
+
+def profiling_schedule(model: ModelProfile) -> IterationSchedule:
+    """The conservative first-iteration schedule §IV-B prescribes.
+
+    Inter-block activations only (minimum safe swap set), everything
+    recomputed, model states on SSD, deferred CPU optimizer, no prefetch
+    lookahead — correctness-first, so the measurement never OOMs.
+    """
+    recompute = model.recompute_flops_for(model.inter_block_bytes)
+    blocks = build_blocks(
+        model,
+        act_to_main_total=model.inter_block_bytes,
+        act_to_ssd_total=0.0,
+        recompute_flops_total=recompute,
+    )
+    return IterationSchedule(
+        name="profiling",
+        model=model,
+        blocks=blocks,
+        states_location=StatesLocation.SSD,
+        optimizer_mode=OptimizerMode.DEFERRED_CPU,
+        prefetch_depth=1,
+    )
+
+
+def run_profiling(model: ModelProfile, server: ServerSpec) -> ProfilingReport:
+    """Execute the profiling iteration and measure the Table I quantities."""
+    if server.n_ssds < 1:
+        raise ProfilingRunError("the profiling schedule offloads states to SSDs")
+    result = run_iteration(server, profiling_schedule(model))
+    trace = result.trace
+
+    thp = _measured_rate(trace, "gpu0")
+    # The GPU channel is occupancy-discounted; profiling reports peak.
+    occupancy = gpu_occupancy(
+        model.tokens_per_iteration, server.gpu.saturation_tokens
+    )
+    thp_peak = thp / occupancy
+
+    bw_down = _measured_rate(trace, "pcie_m2g0")
+    bw_up = _measured_rate(trace, "pcie_g2m0")
+    bw_gpu = min(bw_down, bw_up)
+
+    ssd_read = trace.moved("ssd", label_prefix="fwd_p16") + trace.moved(
+        "ssd", label_prefix="bwd_p16"
+    ) + trace.moved("ssd", label_prefix="opt_read")
+    ssd_read_time = _busy_for(trace, "ssd", ("fwd_p16", "bwd_p16", "opt_read"))
+    ssd_write = trace.moved("ssd", label_prefix="opt_write")
+    ssd_write_time = _busy_for(trace, "ssd", ("opt_write",))
+    if ssd_read_time <= 0 or ssd_write_time <= 0:
+        raise ProfilingRunError("profiling iteration produced no SSD traffic")
+
+    overhead = active_offload_main_overhead(model)
+    mem_avail = max(0.0, server.usable_main_memory_bytes - overhead)
+
+    hardware = HardwareProfile(
+        thp_gpu=thp_peak,
+        bw_gpu=bw_gpu,
+        bw_s2m=ssd_read / ssd_read_time,
+        bw_m2s=ssd_write / ssd_write_time,
+        mem_avail_main=mem_avail,
+        cpu_adam_params_per_s=_measured_rate(trace, "cpu_adam"),
+        gpu_saturation_tokens=server.gpu.saturation_tokens,
+    )
+    return ProfilingReport(
+        hardware=hardware,
+        forward_time=result.forward_time,
+        backward_time=result.backward_time,
+        optimizer_time=result.optimizer_time,
+        iteration_time=result.iteration_time,
+        result=result,
+    )
+
+
+def _measured_rate(trace, resource: str) -> float:
+    moved = trace.moved(resource)
+    busy = trace.busy_time(resource)
+    if busy <= 0:
+        raise ProfilingRunError(f"resource {resource!r} never ran during profiling")
+    return moved / busy
+
+
+def _busy_for(trace, resource: str, prefixes: tuple[str, ...]) -> float:
+    return sum(
+        interval.duration
+        for interval in trace.intervals
+        if interval.resource == resource
+        and any(interval.label.startswith(prefix) for prefix in prefixes)
+    )

@@ -1,0 +1,184 @@
+"""Compiled per-iteration schedules consumed by the discrete-event engine.
+
+Every offloading system (Ratel and each baseline) compiles a model +
+hardware combination into an :class:`IterationSchedule`: per-block
+compute/transfer quantities plus policy knobs (where model states live,
+how the optimizer runs, prefetch depth, framework sync overheads).  The
+engine in :mod:`repro.core.engine` then executes the schedule on the
+simulated machine; the *only* thing distinguishing systems at runtime is
+this schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.models.profile import ModelProfile
+
+
+class StatesLocation(enum.Enum):
+    """Where the persistent model states (P32/OS32/P16 source) reside."""
+
+    SSD = "ssd"
+    MAIN = "main"
+    GPU = "gpu"
+
+
+class OptimizerMode(enum.Enum):
+    """How and when the Adam step executes.
+
+    * ``ACTIVE_OPTIMIZED`` — Ratel §IV-C: per-block handlers fire as
+      gradients land in main memory; SSD reads, CPU compute and SSD
+      writes run as three pipelined workers (Fig. 3b).
+    * ``ACTIVE_NAIVE``     — same trigger, but each handler serialises
+      its read/compute/write before the next starts (Fig. 3a).
+    * ``DEFERRED_CPU``     — ZeRO-Infinity/-Offload: a separate optimizer
+      stage after backward, chunk-pipelined on the CPU.
+    * ``DEFERRED_CPU_SERIAL`` — like ``DEFERRED_CPU`` but without chunk
+      pipelining (Colossal-AI's Gemini behaves close to this on NVMe).
+    * ``DEFERRED_GPU``     — G10/FlashNeuron: Adam runs on the GPU after
+      backward, streaming model states over PCIe when they are not
+      GPU-resident.
+    """
+
+    ACTIVE_OPTIMIZED = "active_optimized"
+    ACTIVE_NAIVE = "active_naive"
+    DEFERRED_CPU = "deferred_cpu"
+    DEFERRED_CPU_SERIAL = "deferred_cpu_serial"
+    DEFERRED_GPU = "deferred_gpu"
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """Quantities for one transformer/DiT block in one iteration.
+
+    Activation routing: during forward, ``act_to_main`` bytes leave the
+    GPU and stay in main memory, ``act_to_ssd`` bytes continue to the
+    array; the rest of the block's activations are discarded and cost
+    ``recompute_flops`` extra GPU work in backward.
+    """
+
+    index: int
+    fwd_flops: float
+    bwd_flops: float
+    recompute_flops: float
+    p16_bytes: float
+    grad_bytes: float
+    opt_params: float
+    act_to_main: float
+    act_to_ssd: float
+
+    @property
+    def act_swapped(self) -> float:
+        """Total activation bytes leaving the GPU for this block."""
+        return self.act_to_main + self.act_to_ssd
+
+    @property
+    def state_read_bytes(self) -> float:
+        """P32+OS32 bytes the optimizer reads for this block (12 B/param)."""
+        return 12.0 * self.opt_params
+
+    @property
+    def state_write_bytes(self) -> float:
+        """P32+OS32+P16 bytes it writes back (14 B/param)."""
+        return 14.0 * self.opt_params
+
+
+@dataclass(frozen=True)
+class IterationSchedule:
+    """Everything the engine needs to run one training iteration."""
+
+    name: str
+    model: ModelProfile
+    blocks: tuple[BlockTask, ...]
+    states_location: StatesLocation
+    optimizer_mode: OptimizerMode
+    prefetch_depth: int = 3
+    sync_overhead_per_block: float = 0.0
+    use_gpudirect: bool = False
+    #: Fraction of the SSD array's line rate this system's I/O engine
+    #: achieves (DeepSpeed's aio path sustains roughly half; Ratel's
+    #: io_uring-style engine is calibrated at full rate).
+    ssd_efficiency: float = 1.0
+    #: Same for the GPU<->host PCIe transfers.
+    pcie_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("schedule needs at least one block")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch depth must be >= 1")
+        if self.sync_overhead_per_block < 0:
+            raise ValueError("sync overhead cannot be negative")
+        for field_name in ("ssd_efficiency", "pcie_efficiency"):
+            value = getattr(self, field_name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{field_name} must be in (0, 1], got {value}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of block tasks."""
+        return len(self.blocks)
+
+    @property
+    def total_swapped(self) -> float:
+        """A_G2M realised by this schedule (all blocks)."""
+        return sum(block.act_swapped for block in self.blocks)
+
+    @property
+    def total_recompute_flops(self) -> float:
+        """FLOP_r realised by this schedule."""
+        return sum(block.recompute_flops for block in self.blocks)
+
+
+def build_blocks(
+    model: ModelProfile,
+    *,
+    act_to_main_total: float,
+    act_to_ssd_total: float,
+    recompute_flops_total: float,
+    states_offloaded: bool = True,
+) -> tuple[BlockTask, ...]:
+    """Spread whole-model quantities uniformly over the block tasks.
+
+    The repeated blocks are architecturally identical, so the engine's
+    pipeline sees the same per-block load; the embedding's swapped output
+    and the head's FLOPs attach to the first/last block respectively.
+    ``states_offloaded=False`` (FlashNeuron) zeroes the per-block P16
+    fetch and optimizer traffic: states never move.
+    """
+    n = model.n_blocks
+    embed_bytes = model.embedding_activation_bytes
+    # The embedding output is swapped with the same main/SSD split as the
+    # block activations.
+    swapped_total = act_to_main_total + act_to_ssd_total
+    if swapped_total > 0:
+        embed_to_main = embed_bytes * act_to_main_total / swapped_total
+    else:
+        embed_to_main = embed_bytes
+    embed_to_ssd = embed_bytes - embed_to_main
+    block_to_main = max(0.0, act_to_main_total - embed_to_main) / n
+    block_to_ssd = max(0.0, act_to_ssd_total - embed_to_ssd) / n
+
+    block_params = model.block.param_count
+    extra_params = max(0.0, model.n_params - n * block_params)
+    per_block_fwd = model.block.forward_flops
+    tasks = []
+    for index in range(n):
+        fwd = per_block_fwd + (model.head_flops if index == n - 1 else 0.0)
+        params = block_params + (extra_params if index == 0 else 0.0)
+        tasks.append(
+            BlockTask(
+                index=index,
+                fwd_flops=fwd,
+                bwd_flops=2.0 * fwd,
+                recompute_flops=recompute_flops_total / n,
+                p16_bytes=2.0 * params if states_offloaded else 0.0,
+                grad_bytes=2.0 * params if states_offloaded else 0.0,
+                opt_params=params if states_offloaded else 0.0,
+                act_to_main=block_to_main + (embed_to_main if index == 0 else 0.0),
+                act_to_ssd=block_to_ssd + (embed_to_ssd if index == 0 else 0.0),
+            )
+        )
+    return tuple(tasks)

@@ -1,0 +1,61 @@
+"""Per-figure experiment harnesses.
+
+One module per table/figure of the paper's evaluation; each exposes
+``run()`` returning :class:`~repro.analysis.report.ExperimentResult`
+objects that render the same rows/series the paper plots.
+:func:`run_all` executes the whole evaluation (used to regenerate
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+
+from . import (
+    ablations,
+    ext_seq_len,
+    fig1_breakdown,
+    fig2_motivation,
+    fig5_throughput,
+    fig6_max_model,
+    fig7_gradient_offload,
+    fig8_act_to_ssd,
+    fig9_act_strategy,
+    fig10_ssd_scaling,
+    fig11_multi_gpu,
+    fig12_diffusion,
+    fig13_cost,
+    traffic_report,
+)
+
+ALL_MODULES = (
+    fig1_breakdown,
+    fig2_motivation,
+    fig5_throughput,
+    fig6_max_model,
+    fig7_gradient_offload,
+    fig8_act_to_ssd,
+    fig9_act_strategy,
+    fig10_ssd_scaling,
+    fig11_multi_gpu,
+    fig12_diffusion,
+    fig13_cost,
+    ablations,
+    ext_seq_len,
+    traffic_report,
+)
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every experiment; returns the flat list of result tables."""
+    results: list[ExperimentResult] = []
+    for module in ALL_MODULES:
+        outcome = module.run()
+        if isinstance(outcome, ExperimentResult):
+            results.append(outcome)
+        else:
+            results.extend(outcome)
+    return results
+
+
+__all__ = ["ALL_MODULES", "run_all"] + [module.__name__.split(".")[-1] for module in ALL_MODULES]

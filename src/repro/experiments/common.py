@@ -1,0 +1,52 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.memory_model import InfeasibleError
+from repro.core.policy import OffloadPolicy
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import profile_model
+
+#: Marker for configurations a system cannot run (rendered as "-").
+FAILED = float("nan")
+
+
+def throughput_tokens_per_s(
+    policy: OffloadPolicy, config, batch_size: int, server: ServerSpec
+) -> float:
+    """Tokens/s for one configuration, or NaN when it does not fit."""
+    profile = profile_model(config, batch_size)
+    try:
+        return policy.simulate(profile, server).tokens_per_s
+    except InfeasibleError:
+        return FAILED
+
+
+def best_throughput(
+    policy: OffloadPolicy,
+    config,
+    server: ServerSpec,
+    batch_candidates: tuple[int, ...],
+):
+    """Best feasible (batch, IterationResult) over the candidates, or None.
+
+    The paper's "maximum throughput" points adopt the largest-throughput
+    feasible batch per system, which with offloading is usually — but not
+    always — the largest feasible batch.
+    """
+    best = None
+    for batch in batch_candidates:
+        profile = profile_model(config, batch)
+        if not policy.feasible(profile, server):
+            continue
+        result = policy.simulate(profile, server, check=False)
+        if best is None or result.tokens_per_s > best[1].tokens_per_s:
+            best = (batch, result)
+    return best
+
+
+def is_failed(value: float) -> bool:
+    """True for the NaN failure marker."""
+    return isinstance(value, float) and math.isnan(value)

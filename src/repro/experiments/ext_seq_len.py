@@ -1,0 +1,60 @@
+"""Extension: throughput and plan shape vs sequence length.
+
+The paper fixes the sequence length at 1024; this extension sweeps it.
+Longer sequences grow the attention term quadratically (4 b s^2 h FLOPs
+against linear activation bytes), so the ``attn_ctx`` segment's
+offloading benefit 2s rises with s — at long sequences Algorithm 1
+starts preferring to *swap* attention context rather than recompute it,
+and the compute/traffic balance tilts toward the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.report import ExperimentResult
+from repro.core import RatelPolicy
+from repro.hardware import GB, evaluation_server
+from repro.models import llm, profile_model
+
+SEQ_SWEEP = (512, 1024, 2048, 4096)
+
+
+def run(model_name: str = "13B", tokens_per_iteration: int = 32768) -> ExperimentResult:
+    """Sweep sequence length at a fixed token budget per iteration.
+
+    Holding batch x seq constant isolates the attention-quadratic effect
+    from plain batch scaling.
+    """
+    server = evaluation_server()
+    ratel = RatelPolicy()
+    base = llm(model_name)
+    result = ExperimentResult(
+        experiment="ext_seqlen",
+        title=f"{model_name} at a fixed {tokens_per_iteration} tokens/iteration vs sequence length",
+        columns=["seq_len", "batch", "token/s", "TFLOPS", "A*_GB", "attn_ctx swapped"],
+    )
+    for seq_len in SEQ_SWEEP:
+        batch = tokens_per_iteration // seq_len
+        if batch < 1:
+            continue
+        config = replace(base, name=f"{model_name}-s{seq_len}", seq_len=seq_len)
+        profile = profile_model(config, batch)
+        if not ratel.feasible(profile, server):
+            result.add_row(seq_len, batch, float("nan"), float("nan"), float("nan"), "-")
+            continue
+        plan = ratel.plan(profile, server)
+        sim = ratel.simulate(profile, server)
+        result.add_row(
+            seq_len,
+            batch,
+            sim.tokens_per_s,
+            sim.achieved_tflops,
+            plan.a_g2m / GB,
+            "yes" if "attn_ctx" in plan.swapped else "no",
+        )
+    result.note(
+        "the attention context's offloading benefit grows linearly with s: "
+        "long sequences shift the plan from recompute toward swap"
+    )
+    return result

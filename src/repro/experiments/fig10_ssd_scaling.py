@@ -1,0 +1,74 @@
+"""Fig. 10: effect of the number of SSDs.
+
+* Fig. 10a — best throughput of Ratel and ZeRO-Infinity fine-tuning the
+  135B model (ZeRO-Infinity's largest) with 1-12 SSDs on the RTX 4090.
+* Fig. 10b — Ratel's achieved TFLOPS on the 13B model for batch sizes
+  32/48/64 across the same sweep.
+
+Paper anchors: near-linear scaling from 1 to 3 SSDs, saturation past 6
+(the bottleneck moves to GPU compute / PCIe); larger batches need fewer
+SSDs to peak; ZeRO-Infinity barely benefits because it serializes
+compute, optimizer and I/O.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+
+from .common import FAILED, best_throughput
+
+SSD_SWEEP = (1, 2, 3, 6, 12)
+BATCHES_135B = (4, 8, 16, 32)
+BATCHES_13B = (32, 48, 64)
+
+
+def run_fig10a() -> ExperimentResult:
+    """135B max throughput vs number of SSDs."""
+    config = llm("135B")
+    systems = (ZeroInfinityPolicy(), RatelPolicy())
+    result = ExperimentResult(
+        experiment="fig10a",
+        title="135B max throughput (token/s) vs number of SSDs, RTX 4090",
+        columns=["n_ssds"] + [policy.name for policy in systems],
+    )
+    for n_ssds in SSD_SWEEP:
+        server = evaluation_server(n_ssds=n_ssds)
+        row: list = [n_ssds]
+        for policy in systems:
+            best = best_throughput(policy, config, server, BATCHES_135B)
+            row.append(best[1].tokens_per_s if best else FAILED)
+        result.add_row(*row)
+    result.note("paper: Ratel scales near-linearly to 3 SSDs, flattens past 6")
+    return result
+
+
+def run_fig10b() -> ExperimentResult:
+    """Ratel 13B TFLOPS vs number of SSDs at fixed batch sizes."""
+    config = llm("13B")
+    policy = RatelPolicy()
+    result = ExperimentResult(
+        experiment="fig10b",
+        title="Ratel 13B achieved TFLOPS vs number of SSDs, RTX 4090",
+        columns=["n_ssds"] + [f"bsz={batch}" for batch in BATCHES_13B],
+    )
+    for n_ssds in SSD_SWEEP:
+        server = evaluation_server(n_ssds=n_ssds)
+        row: list = [n_ssds]
+        for batch in BATCHES_13B:
+            profile = profile_model(config, batch)
+            if not policy.feasible(profile, server):
+                row.append(FAILED)
+                continue
+            row.append(policy.simulate(profile, server).achieved_tflops)
+        result.add_row(*row)
+    result.note("paper: larger batches reach peak TFLOPS with fewer SSDs")
+    return result
+
+
+def run() -> list[ExperimentResult]:
+    """Both Fig. 10 panels."""
+    return [run_fig10a(), run_fig10b()]

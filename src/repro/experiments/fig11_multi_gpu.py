@@ -1,0 +1,55 @@
+"""Fig. 11: Ratel vs ZeRO-Infinity on a multi-GPU commodity server.
+
+Data-parallel fine-tuning of the 13B and 70B models on 2 and 4 RTX 4090
+GPUs sharing one host (DRAM, SSD array and CPU-Adam are contended).
+
+Paper anchors: Ratel reaches 2.21x (13B) and 1.69x (70B) ZeRO-Infinity's
+throughput on 4 GPUs, because it sustains larger per-GPU batches (SSD
+activation swap) and schedules the shared traffic holistically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.core.memory_model import InfeasibleError
+from repro.core.multi_gpu import run_data_parallel
+from repro.hardware import evaluation_server
+from repro.models import llm
+
+from .common import FAILED
+
+PANELS = (
+    ("fig11a", "13B", 2, (16, 32, 64, 128, 256)),
+    ("fig11b", "70B", 2, (16, 32, 48, 64)),
+    ("fig11c", "13B", 4, (32, 64, 128, 256, 512)),
+    ("fig11d", "70B", 4, (32, 64, 96, 128)),
+)
+
+
+def run_panel(experiment: str, model_name: str, n_gpus: int, batches) -> ExperimentResult:
+    """One Fig. 11 panel: global throughput vs global batch."""
+    server = evaluation_server(n_gpus=n_gpus)
+    config = llm(model_name)
+    systems = (ZeroInfinityPolicy(), RatelPolicy())
+    result = ExperimentResult(
+        experiment=experiment,
+        title=f"{model_name} on {n_gpus}x RTX 4090: global throughput (token/s)",
+        columns=["global_batch"] + [policy.name for policy in systems],
+    )
+    for batch in batches:
+        row: list = [batch]
+        for policy in systems:
+            try:
+                row.append(run_data_parallel(policy, config, batch, server).tokens_per_s)
+            except InfeasibleError:
+                row.append(FAILED)
+        result.add_row(*row)
+    result.note("paper: Ratel 2.21x (13B) / 1.69x (70B) over ZeRO-Infinity on 4 GPUs")
+    return result
+
+
+def run() -> list[ExperimentResult]:
+    """All four Fig. 11 panels."""
+    return [run_panel(*panel) for panel in PANELS]

@@ -1,0 +1,50 @@
+"""Fig. 12: throughput on large diffusion (DiT) models.
+
+Fine-tunes the six Table VI DiT backbones at 512x512 on the RTX 4090,
+comparing Fast-DiT (everything in GPU memory) against Ratel.
+
+Paper anchors: Fast-DiT goes out of memory beyond 1.4B; Ratel both
+trains the 10B-40B models and beats Fast-DiT on models both can run,
+because Fast-DiT's trainable batch shrinks as the model grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import FastDiTPolicy
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import DIT_PRESETS, profile_model
+
+from .common import FAILED
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def run() -> ExperimentResult:
+    """Images/s for Fast-DiT vs Ratel across the Table VI models."""
+    server = evaluation_server()
+    systems = (FastDiTPolicy(), RatelPolicy())
+    result = ExperimentResult(
+        experiment="fig12",
+        title="DiT throughput (image/s), 512x512, RTX 4090",
+        columns=["model", "Fast-DiT", "Fast-DiT bsz", "Ratel", "Ratel bsz"],
+    )
+    for name, config in DIT_PRESETS.items():
+        row: list = [name]
+        for policy in systems:
+            best = None
+            for batch in BATCHES:
+                profile = profile_model(config, batch)
+                if not policy.feasible(profile, server):
+                    continue
+                res = policy.simulate(profile, server, check=False)
+                if best is None or res.samples_per_s > best[1].samples_per_s:
+                    best = (batch, res)
+            if best is None:
+                row.extend([FAILED, "OOM"])
+            else:
+                row.extend([best[1].samples_per_s, best[0]])
+        result.add_row(*row)
+    result.note("paper: Fast-DiT OOMs past 1.4B; Ratel wins even where both fit")
+    return result

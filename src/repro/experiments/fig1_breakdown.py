@@ -1,0 +1,63 @@
+"""Fig. 1: stage breakdown of ZeRO-Infinity, G10 and Ratel.
+
+Fine-tunes the 13B model at batch 32 on the 12-SSD evaluation server and
+prints, per system, the forward/backward/optimizer stage times and the
+per-stage utilization of the GPU<->host PCIe directions and the SSD
+array — the numbers annotated inside the paper's Fig. 1 timelines.
+
+Paper anchors: ZeRO-Infinity 14 s / 26 s / 23 s; G10 (simulated with
+GPUDirect) 10 s / 12 s / 13 s; Ratel 5 s / 20 s / no optimizer stage.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import G10Policy, ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.hardware import EVALUATION_SERVER
+from repro.models import llm, profile_model
+
+
+def run(batch_size: int = 32) -> ExperimentResult:
+    """Reproduce the Fig. 1 comparison table."""
+    profile = profile_model(llm("13B"), batch_size)
+    systems = [
+        ZeroInfinityPolicy(),
+        G10Policy(assume_gpudirect=True),
+        RatelPolicy(),
+    ]
+    result = ExperimentResult(
+        experiment="fig1",
+        title=f"Stage breakdown, 13B model, batch {batch_size}, RTX 4090 + 12 SSDs",
+        columns=[
+            "system",
+            "fwd_s",
+            "bwd_s",
+            "opt_s",
+            "iter_s",
+            "fwd_m2g%",
+            "fwd_g2m%",
+            "fwd_ssd%",
+            "bwd_m2g%",
+            "bwd_g2m%",
+            "bwd_ssd%",
+        ],
+    )
+    for policy in systems:
+        res = policy.simulate(profile, EVALUATION_SERVER)
+        result.add_row(
+            policy.name,
+            res.forward_time,
+            res.backward_time,
+            res.optimizer_time,
+            res.iteration_time,
+            100 * res.utilization("pcie_m2g0", "forward"),
+            100 * res.utilization("pcie_g2m0", "forward"),
+            100 * res.utilization("ssd", "forward"),
+            100 * res.utilization("pcie_m2g0", "backward"),
+            100 * res.utilization("pcie_g2m0", "backward"),
+            100 * res.utilization("ssd", "backward"),
+        )
+    result.note("paper: ZeRO-Infinity 14/26/23 s, G10 10/12/13 s, Ratel 5/20/- s")
+    result.note("Ratel hides the optimizer inside backward (active gradient offloading)")
+    return result

@@ -1,0 +1,88 @@
+"""Fig. 2: the motivation study on SSD-offloading baselines.
+
+* Fig. 2a — largest trainable model vs main memory for FlashNeuron,
+  Colossal-AI and ZeRO-Infinity (batch 1, RTX 4090).
+* Fig. 2b — ZeRO-Infinity's GPU busy fraction vs batch size for the
+  13B/30B/70B models (paper: at best ~36%).
+* Fig. 2c — the optimizer stage's share of an iteration for the same
+  sweep (paper: 30%-60%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import ColossalAIPolicy, FlashNeuronPolicy, ZeroInfinityPolicy
+from repro.core import max_trainable_params
+from repro.core.memory_model import InfeasibleError
+from repro.hardware import GiB, evaluation_server
+from repro.models import llm, profile_model
+
+MAIN_MEMORY_SWEEP_GB = (128, 256, 384, 512, 640, 768)
+BATCH_SWEEP = (8, 16, 32, 64)
+MODELS = ("13B", "30B", "70B")
+
+
+def run_fig2a() -> ExperimentResult:
+    """Max trainable size vs main memory for the three motivating systems."""
+    policies = [FlashNeuronPolicy(), ColossalAIPolicy(), ZeroInfinityPolicy()]
+    result = ExperimentResult(
+        experiment="fig2a",
+        title="Largest trainable model (B params) vs main memory, batch 1, RTX 4090",
+        columns=["main_GB"] + [policy.name for policy in policies],
+    )
+    for mem_gb in MAIN_MEMORY_SWEEP_GB:
+        server = evaluation_server(main_memory_bytes=mem_gb * GiB)
+        result.add_row(
+            mem_gb,
+            *(max_trainable_params(policy, server) / 1e9 for policy in policies),
+        )
+    result.note("paper: FlashNeuron flat at 1.55B; ZeRO-Infinity <= 135B at 768 GB")
+    return result
+
+
+def run_fig2b() -> ExperimentResult:
+    """ZeRO-Infinity GPU busy fraction across batch sizes and model sizes."""
+    return _zero_infinity_sweep(
+        "fig2b",
+        "ZeRO-Infinity GPU busy time (%) vs batch size, RTX 4090",
+        lambda res: 100 * res.gpu_busy_fraction,
+        "paper: GPU busy at most ~36% even at 13B / batch 32",
+    )
+
+
+def run_fig2c() -> ExperimentResult:
+    """ZeRO-Infinity optimizer-stage proportion across the same sweep."""
+    return _zero_infinity_sweep(
+        "fig2c",
+        "ZeRO-Infinity optimizer-stage share (%) of an iteration, RTX 4090",
+        lambda res: 100 * res.optimizer_fraction,
+        "paper: the optimizer stage takes 30%-60% of a training step",
+    )
+
+
+def run() -> list[ExperimentResult]:
+    """All three Fig. 2 panels."""
+    return [run_fig2a(), run_fig2b(), run_fig2c()]
+
+
+def _zero_infinity_sweep(experiment, title, metric, note) -> ExperimentResult:
+    policy = ZeroInfinityPolicy()
+    server = evaluation_server()
+    result = ExperimentResult(
+        experiment=experiment,
+        title=title,
+        columns=["batch"] + [f"{name} model" for name in MODELS],
+    )
+    for batch in BATCH_SWEEP:
+        row = [batch]
+        for name in MODELS:
+            profile = profile_model(llm(name), batch)
+            try:
+                res = policy.simulate(profile, server)
+            except InfeasibleError:
+                row.append(float("nan"))
+                continue
+            row.append(metric(res))
+        result.add_row(*row)
+    result.note(note)
+    return result

@@ -1,0 +1,58 @@
+"""Fig. 6: maximum trainable model size under different main memory.
+
+Five systems x {RTX 4090/3090 (24 GB), RTX 4080 (16 GB)} x 128-768 GB of
+DRAM, batch 1.  Paper anchors: Ratel reaches 276B at 768 GB on the 4090
+(2.04x ZeRO-Infinity's 135B) and still 175B with only 256 GB on the 4080.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import (
+    ColossalAIPolicy,
+    FlashNeuronPolicy,
+    ZeroInfinityPolicy,
+    ZeroOffloadPolicy,
+)
+from repro.core import RatelPolicy, max_trainable_params
+from repro.hardware import GiB, RTX_4080, RTX_4090, evaluation_server
+
+POLICIES = (
+    FlashNeuronPolicy(),
+    ColossalAIPolicy(),
+    ZeroInfinityPolicy(),
+    ZeroOffloadPolicy(),
+    RatelPolicy(),
+)
+MAIN_MEMORY_SWEEP_GB = (128, 256, 384, 512, 640, 768)
+
+
+def run_fig6a() -> ExperimentResult:
+    """24 GB GPUs (RTX 4090; the 3090 shares the memory capacity)."""
+    return _sweep("fig6a", RTX_4090, "RTX 4090 / 3090 (24 GB)")
+
+
+def run_fig6b() -> ExperimentResult:
+    """16 GB GPU (RTX 4080)."""
+    return _sweep("fig6b", RTX_4080, "RTX 4080 (16 GB)")
+
+
+def run() -> list[ExperimentResult]:
+    """Both Fig. 6 panels."""
+    return [run_fig6a(), run_fig6b()]
+
+
+def _sweep(experiment: str, gpu, label: str) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment=experiment,
+        title=f"Max trainable model size (B params) vs main memory on {label}",
+        columns=["main_GB"] + [policy.name for policy in POLICIES],
+    )
+    for mem_gb in MAIN_MEMORY_SWEEP_GB:
+        server = evaluation_server(gpu=gpu, main_memory_bytes=mem_gb * GiB)
+        result.add_row(
+            mem_gb,
+            *(max_trainable_params(policy, server) / 1e9 for policy in POLICIES),
+        )
+    result.note("paper: Ratel 276B at 768 GB (4090), 175B at 256 GB even on the 4080")
+    return result

@@ -1,0 +1,75 @@
+"""Per-link traffic accounting for the Fig. 1 systems (13B, batch 32).
+
+The paper annotates Fig. 1 with byte counts — G10 moves "~213 GB" of
+activations and "182 GB/direction" of model states, ZeRO-Infinity swaps
+only the ~12.5 GB of inter-block activations, Ratel "only offloads
+~34 GB".  This experiment extracts the same numbers from the simulated
+traces: bytes over each PCIe direction and the SSD array, split by
+traffic class.
+
+Note an honest deviation: our calibration (CPU Adam faster than state
+I/O, per §IV-D's stated ordering) leaves the 4090 GPU-bound at batch 32,
+so Ratel's Algorithm 1 swaps *more* than the paper's 34 GB — swapping is
+cheap here and recomputation is not.  The qualitative contrast survives:
+Ratel swaps far less than G10's everything and far more than
+ZeRO-Infinity's boundaries-only.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import G10Policy, ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.hardware import EVALUATION_SERVER, GB
+from repro.models import llm, profile_model
+
+
+def run(batch_size: int = 32) -> ExperimentResult:
+    """Bytes moved per link and class for ZeRO-Infinity / G10 / Ratel."""
+    profile = profile_model(llm("13B"), batch_size)
+    systems = [
+        ZeroInfinityPolicy(),
+        G10Policy(assume_gpudirect=True),
+        RatelPolicy(),
+    ]
+    result = ExperimentResult(
+        experiment="traffic",
+        title=f"Data moved per iteration (GB), 13B model, batch {batch_size}",
+        columns=[
+            "system",
+            "acts out (G2M)",
+            "acts back (M2G)",
+            "acts to SSD",
+            "P16 in (M2G)",
+            "grads out (G2M)",
+            "opt states (SSD)",
+            "SSD total",
+        ],
+    )
+    for policy in systems:
+        res = policy.simulate(profile, EVALUATION_SERVER)
+        trace = res.trace
+        result.add_row(
+            policy.name,
+            trace.moved("pcie_g2m0", label_prefix="act_out") / GB,
+            trace.moved("pcie_m2g0", label_prefix="act_back") / GB,
+            trace.moved("ssd", label_prefix="act_spill") / GB,
+            (
+                trace.moved("pcie_m2g0", label_prefix="fwd_p16")
+                + trace.moved("pcie_m2g0", label_prefix="bwd_p16")
+            )
+            / GB,
+            trace.moved("pcie_g2m0", label_prefix="grad") / GB,
+            (
+                trace.moved("ssd", label_prefix="opt_read")
+                + trace.moved("ssd", label_prefix="opt_write")
+            )
+            / GB,
+            trace.moved("ssd") / GB,
+        )
+    result.note("paper Fig. 1: G10 moves ~213 GB of activations; ZeRO-Infinity ~12.5 GB")
+    result.note(
+        "Ratel's swap amount exceeds the paper's ~34 GB under our calibration "
+        "(GPU-bound at batch 32 => swapping beats recomputing); see module docstring"
+    )
+    return result

@@ -1,0 +1,74 @@
+"""Hardware catalog: device specs, server presets and unit helpers.
+
+The rest of the library treats hardware purely through these value
+objects; swapping in a different GPU or SSD array is a matter of building
+another :class:`~repro.hardware.spec.ServerSpec`.
+"""
+
+from .spec import (
+    CPUSpec,
+    gpu_occupancy,
+    GPUSpec,
+    HardwareError,
+    PCIeLinkSpec,
+    SSDSpec,
+    ServerSpec,
+)
+from .presets import (
+    A100_80G,
+    DGX_A100,
+    EVALUATION_SERVER,
+    INTEL_P5510,
+    NVLINK_A100,
+    PCIE_GEN4_X16_MEASURED,
+    RTX_3090,
+    RTX_4080,
+    RTX_4090,
+    SSD_PLATFORM_BW_CAP,
+    XEON_GOLD_5320_X2,
+    evaluation_server,
+)
+from .units import (
+    GB,
+    GiB,
+    KB,
+    MB,
+    TB,
+    TFLOPS,
+    fmt_bytes,
+    fmt_flops,
+    fmt_rate,
+    fmt_time,
+)
+
+__all__ = [
+    "CPUSpec",
+    "gpu_occupancy",
+    "GPUSpec",
+    "HardwareError",
+    "PCIeLinkSpec",
+    "SSDSpec",
+    "ServerSpec",
+    "A100_80G",
+    "DGX_A100",
+    "EVALUATION_SERVER",
+    "INTEL_P5510",
+    "NVLINK_A100",
+    "PCIE_GEN4_X16_MEASURED",
+    "RTX_3090",
+    "RTX_4080",
+    "RTX_4090",
+    "SSD_PLATFORM_BW_CAP",
+    "XEON_GOLD_5320_X2",
+    "evaluation_server",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "GiB",
+    "TFLOPS",
+    "fmt_bytes",
+    "fmt_flops",
+    "fmt_rate",
+    "fmt_time",
+]

@@ -1,0 +1,149 @@
+"""Hardware presets matching the paper's evaluation setup.
+
+Table III of the paper: dual Intel Xeon Gold 5320, 768 GB DDR4-3200,
+PCIe Gen 4, RTX 3090/4080/4090, 12x 3.84 TB Intel P5510.  Table VII adds
+the DGX-A100 comparison machine and component prices.
+
+Calibration notes (see DESIGN.md section 4):
+
+* The GPU <-> host link measures 21 GB/s per direction (Fig. 1), below
+  the Gen4 x16 line rate, matching what pinned-memory cudaMemcpy achieves
+  in practice.
+* The 12-SSD array measures 32 GB/s aggregate (Fig. 1a), so the platform
+  cap is 32 GB/s; a single P5510 does ~6.2 GB/s sequential read and
+  ~3.5 GB/s sequential write.
+* Measured peak fp16 throughput (Fig. 5c green line): ~165 TFLOP/s on the
+  4090.  The 3090/4080 values are scaled from their relative tensor-core
+  throughput.
+* CPU Adam: ~1.3e9 params/s aggregate.  The paper notes (§IV-D) that CPU
+  Adam compute is *shorter* than reading/writing the optimizer states
+  from/to SSD; at 1.3e9 params/s a 13B update costs 10 s of CPU against
+  11.4 s of state I/O, satisfying that ordering.  ZeRO-Infinity's 23 s
+  optimizer stage (Fig. 1a) then stems from DeepSpeed's partial aio
+  efficiency, modelled by the baseline schedules' ``ssd_efficiency``.
+"""
+
+from __future__ import annotations
+
+from .spec import CPUSpec, GPUSpec, PCIeLinkSpec, SSDSpec, ServerSpec
+from .units import GB, GiB, TB, TFLOPS
+
+RTX_4090 = GPUSpec(
+    name="RTX 4090",
+    memory_bytes=24 * GiB,
+    peak_fp16_flops=165 * TFLOPS,
+    price_usd=1600.0,
+)
+
+RTX_3090 = GPUSpec(
+    name="RTX 3090",
+    memory_bytes=24 * GiB,
+    peak_fp16_flops=71 * TFLOPS,
+    price_usd=1000.0,
+)
+
+RTX_4080 = GPUSpec(
+    name="RTX 4080",
+    memory_bytes=16 * GiB,
+    peak_fp16_flops=97 * TFLOPS,
+    price_usd=1200.0,
+)
+
+A100_80G = GPUSpec(
+    name="A100-80G",
+    memory_bytes=80 * GiB,
+    peak_fp16_flops=270 * TFLOPS,
+    price_usd=14177.0,
+    supports_gpudirect=True,
+)
+
+XEON_GOLD_5320_X2 = CPUSpec(
+    name="2x Xeon Gold 5320",
+    sockets=2,
+    cores_per_socket=26,
+    adam_params_per_s=1.3e9,
+    memory_bandwidth=180 * GB,
+)
+
+DGX_CPU = CPUSpec(
+    name="2x AMD EPYC 7742",
+    sockets=2,
+    cores_per_socket=64,
+    adam_params_per_s=5.2e9,
+    memory_bandwidth=380 * GB,
+)
+
+INTEL_P5510 = SSDSpec(
+    name="Intel P5510 3.84TB",
+    capacity_bytes=3.84 * TB,
+    read_bw=6.2 * GB,
+    write_bw=3.5 * GB,
+    price_usd=308.0,
+)
+
+PCIE_GEN4_X16_MEASURED = PCIeLinkSpec(
+    name="PCIe Gen4 x16 (measured)",
+    bandwidth_per_dir=21 * GB,
+    duplex=True,
+)
+
+NVLINK_A100 = PCIeLinkSpec(
+    name="NVLink 3 (per-GPU aggregate)",
+    bandwidth_per_dir=300 * GB,
+    duplex=True,
+)
+
+SSD_PLATFORM_BW_CAP = 32 * GB
+
+#: The paper's evaluation server (Table III) with the full 768 GB of DRAM.
+#: Use :meth:`ServerSpec.with_main_memory` / ``with_gpu`` / ``with_ssds``
+#: to derive the swept configurations.
+EVALUATION_SERVER = ServerSpec(
+    name="commodity 4U server (Table III)",
+    gpu=RTX_4090,
+    n_gpus=1,
+    cpu=XEON_GOLD_5320_X2,
+    main_memory_bytes=768 * GiB,
+    ssd=INTEL_P5510,
+    n_ssds=12,
+    gpu_link=PCIE_GEN4_X16_MEASURED,
+    ssd_platform_bw_cap=SSD_PLATFORM_BW_CAP,
+    chassis_price_usd=14098.0,
+)
+
+#: DGX-A100 for the Fig. 13 cost-effectiveness comparison.  Megatron-LM
+#: does not offload, so SSDs are irrelevant; NVLink serves tensor-parallel
+#: all-reduces.
+DGX_A100 = ServerSpec(
+    name="DGX-A100 (8x A100-80G)",
+    gpu=A100_80G,
+    n_gpus=8,
+    cpu=DGX_CPU,
+    main_memory_bytes=2048 * GiB,
+    ssd=INTEL_P5510,
+    n_ssds=0,
+    gpu_link=NVLINK_A100,
+    ssd_platform_bw_cap=SSD_PLATFORM_BW_CAP,
+    chassis_price_usd=200_000.0
+    - 8 * A100_80G.price_usd,  # Table VII quotes $200k for the whole box
+    interconnect=NVLINK_A100,
+)
+
+
+def evaluation_server(
+    *,
+    gpu: GPUSpec = RTX_4090,
+    n_gpus: int = 1,
+    main_memory_bytes: float = 768 * GiB,
+    n_ssds: int = 12,
+) -> ServerSpec:
+    """Build a variant of the paper's evaluation server.
+
+    This is the single entry point the experiment modules use to express
+    sweeps such as "RTX 4080 with 256 GB main memory and 12 SSDs".
+    """
+    return (
+        EVALUATION_SERVER.with_gpu(gpu, n_gpus)
+        .with_main_memory(main_memory_bytes)
+        .with_ssds(n_ssds)
+    )

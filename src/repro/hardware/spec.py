@@ -1,0 +1,232 @@
+"""Hardware specification dataclasses.
+
+These are plain value objects describing the machines the paper evaluates
+on (Table III) plus the comparison hardware (DGX-A100, Table VII).  The
+discrete-event simulator (:mod:`repro.sim`) and the capacity planner
+(:mod:`repro.core.capacity`) consume these specs; nothing here performs
+simulation itself.
+
+All capacities are bytes, bandwidths bytes/second, compute rates FLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .units import GB
+
+
+class HardwareError(ValueError):
+    """Raised for inconsistent or physically impossible hardware specs."""
+
+
+def gpu_occupancy(tokens: float, saturation_tokens: float) -> float:
+    """Fraction of peak FLOPS sustained with ``tokens`` in flight.
+
+    A saturating curve ``t / (t + t_sat)``: half of peak at
+    ``saturation_tokens``, asymptotically 1.  Calibrated so batch 32 at
+    sequence length 1024 (32768 tokens) reaches ~89% of peak on the 4090,
+    matching the paper's "large enough to saturate GPU computing
+    resources (such as 32)".
+    """
+    if tokens <= 0:
+        raise HardwareError(f"token count must be positive, got {tokens}")
+    if saturation_tokens < 0:
+        raise HardwareError("saturation_tokens cannot be negative")
+    return tokens / (tokens + saturation_tokens)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU device.
+
+    ``peak_fp16_flops`` is the *measured* peak throughput of a transformer
+    block (the green line in the paper's Fig. 5c), not the marketing
+    number: the iteration-time model (Eq. 2/5) divides layer FLOPs by this
+    rate.  ``reserved_bytes`` accounts for CUDA context, cuBLAS workspaces
+    and allocator fragmentation; the usable pool is
+    ``memory_bytes - reserved_bytes``.
+
+    ``saturation_tokens`` models kernel occupancy: matmul kernels only
+    approach peak FLOPS once enough tokens are in flight, so a workload
+    processing ``t`` tokens per kernel sustains
+    ``t / (t + saturation_tokens)`` of peak (see :func:`gpu_occupancy`).
+    This is why small batches underutilize the GPU and why bigger
+    trainable batches translate into throughput in the paper's Figs. 5/12.
+    """
+
+    name: str
+    memory_bytes: float
+    peak_fp16_flops: float
+    price_usd: float
+    supports_gpudirect: bool = False
+    reserved_bytes: float = 1.5 * GB
+    saturation_tokens: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.peak_fp16_flops <= 0:
+            raise HardwareError(f"GPU {self.name!r} must have positive memory and FLOPS")
+        if self.reserved_bytes >= self.memory_bytes:
+            raise HardwareError(f"GPU {self.name!r} reserve exceeds device memory")
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Device memory left after framework/driver reservations."""
+        return self.memory_bytes - self.reserved_bytes
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host CPU complex (all sockets together).
+
+    ``adam_params_per_s`` is the aggregate rate at which a vectorised
+    out-of-core Adam implementation updates parameters (reads fp32 param +
+    two moments + fp16 grad, writes all back plus an fp16 copy).  The
+    paper's dual Xeon Gold 5320 sustains roughly 0.6e9 params/s, which
+    makes the 13B optimizer stage take ~22 s as reported in Fig. 1a.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    adam_params_per_s: float
+    memory_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise HardwareError(f"CPU {self.name!r} must have positive core counts")
+        if self.adam_params_per_s <= 0:
+            raise HardwareError(f"CPU {self.name!r} must have positive Adam throughput")
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+    def adam_time(self, n_params: float) -> float:
+        """Seconds of CPU compute to Adam-update ``n_params`` parameters."""
+        return n_params / self.adam_params_per_s
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """One NVMe SSD.
+
+    Bandwidths are large-block sequential rates, which is how offloading
+    frameworks access SSDs (tensors are written/read as big contiguous
+    chunks through an aio/liburing engine).
+    """
+
+    name: str
+    capacity_bytes: float
+    read_bw: float
+    write_bw: float
+    price_usd: float
+
+    def __post_init__(self) -> None:
+        if min(self.capacity_bytes, self.read_bw, self.write_bw) <= 0:
+            raise HardwareError(f"SSD {self.name!r} must have positive capacity/bandwidth")
+
+
+@dataclass(frozen=True)
+class PCIeLinkSpec:
+    """A PCIe connection with a per-direction bandwidth.
+
+    ``duplex=True`` means both directions run concurrently at full rate
+    (GPU <-> host link); ``duplex=False`` means reads and writes share one
+    budget (the paper models the SSD array as simplex: Eq. 2's note).
+    """
+
+    name: str
+    bandwidth_per_dir: float
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_per_dir <= 0:
+            raise HardwareError(f"link {self.name!r} must have positive bandwidth")
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A whole machine: GPUs, CPU, DRAM, an SSD array and the PCIe fabric.
+
+    ``ssd_platform_bw_cap`` models the host-side limit on aggregate SSD
+    throughput (PCIe switch / root-complex lanes): with 12 P5510s the
+    paper measures 32 GB/s, well below 12x the per-drive rate.
+
+    ``host_reserved_bytes`` is main memory consumed by the OS, the Python
+    runtime and the framework itself, unavailable for tensor staging.
+    """
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    cpu: CPUSpec
+    main_memory_bytes: float
+    ssd: SSDSpec
+    n_ssds: int
+    gpu_link: PCIeLinkSpec
+    ssd_platform_bw_cap: float
+    chassis_price_usd: float = 0.0
+    host_reserved_bytes: float = 12 * GB
+    interconnect: PCIeLinkSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise HardwareError("server needs at least one GPU")
+        if self.n_ssds < 0:
+            raise HardwareError("negative SSD count")
+        if self.main_memory_bytes <= self.host_reserved_bytes:
+            raise HardwareError(
+                f"server {self.name!r}: main memory {self.main_memory_bytes} does not "
+                f"cover the host reserve {self.host_reserved_bytes}"
+            )
+
+    @property
+    def usable_main_memory_bytes(self) -> float:
+        """Main memory available for tensor staging after the OS reserve."""
+        return self.main_memory_bytes - self.host_reserved_bytes
+
+    @property
+    def ssd_capacity_bytes(self) -> float:
+        """Total capacity of the SSD array."""
+        return self.n_ssds * self.ssd.capacity_bytes
+
+    @property
+    def ssd_read_bw(self) -> float:
+        """Aggregate SSD->host bandwidth (BW_S2M), platform-capped."""
+        if self.n_ssds == 0:
+            return 0.0
+        return min(self.n_ssds * self.ssd.read_bw, self.ssd_platform_bw_cap)
+
+    @property
+    def ssd_write_bw(self) -> float:
+        """Aggregate host->SSD bandwidth (BW_M2S), platform-capped."""
+        if self.n_ssds == 0:
+            return 0.0
+        return min(self.n_ssds * self.ssd.write_bw, self.ssd_platform_bw_cap)
+
+    @property
+    def price_usd(self) -> float:
+        """Whole-server price following the paper's Table VII methodology."""
+        return (
+            self.chassis_price_usd
+            + self.n_gpus * self.gpu.price_usd
+            + self.n_ssds * self.ssd.price_usd
+        )
+
+    def with_main_memory(self, main_memory_bytes: float) -> "ServerSpec":
+        """Copy of this server with a different DRAM capacity.
+
+        The paper sweeps main memory by pinning the remainder; this is the
+        equivalent spec-level operation.
+        """
+        return replace(self, main_memory_bytes=main_memory_bytes)
+
+    def with_ssds(self, n_ssds: int) -> "ServerSpec":
+        """Copy of this server with a different number of SSDs."""
+        return replace(self, n_ssds=n_ssds)
+
+    def with_gpu(self, gpu: GPUSpec, n_gpus: int | None = None) -> "ServerSpec":
+        """Copy of this server with a different GPU model (and count)."""
+        return replace(self, gpu=gpu, n_gpus=self.n_gpus if n_gpus is None else n_gpus)

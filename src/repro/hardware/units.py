@@ -1,0 +1,87 @@
+"""Unit constants and conversion helpers.
+
+Throughout the library, sizes are plain ``int``/``float`` byte counts,
+compute quantities are floating-point-operation counts (FLOPs), rates are
+bytes-per-second or FLOP-per-second, and times are seconds.  This module
+defines the multipliers so call sites read like the paper
+(``32 * GB``, ``165 * TFLOPS``).
+
+The paper uses decimal (SI) units for bandwidth and capacity figures
+(e.g. "32 GB/s", "3.84 TB SSD"), so ``KB``/``MB``/``GB``/``TB`` here are
+powers of 10.  Binary units are available as ``KiB``/``MiB``/``GiB``/``TiB``
+for GPU/host memory capacities where vendors quote powers of two
+("24 GB" on an RTX 4090 is 24 GiB).
+"""
+
+from __future__ import annotations
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+KFLOPS = 10**3
+MFLOPS = 10**6
+GFLOPS = 10**9
+TFLOPS = 10**12
+
+MS = 1e-3
+US = 1e-6
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable decimal suffix.
+
+    >>> fmt_bytes(34 * GB)
+    '34.00 GB'
+    >>> fmt_bytes(512)
+    '512 B'
+    """
+    n = float(n)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Render a bandwidth as ``<value> <unit>/s``.
+
+    >>> fmt_rate(21 * GB)
+    '21.00 GB/s'
+    """
+    return fmt_bytes(bytes_per_s) + "/s"
+
+
+def fmt_flops(flops: float) -> str:
+    """Render a FLOP count or FLOP/s rate with a T/G/M suffix.
+
+    >>> fmt_flops(165 * TFLOPS)
+    '165.00 TFLOP'
+    """
+    flops = float(flops)
+    for unit, name in ((TFLOPS, "TFLOP"), (GFLOPS, "GFLOP"), (MFLOPS, "MFLOP")):
+        if abs(flops) >= unit:
+            return f"{flops / unit:.2f} {name}"
+    return f"{flops:.0f} FLOP"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration in the most natural unit.
+
+    >>> fmt_time(0.0042)
+    '4.20 ms'
+    >>> fmt_time(23.0)
+    '23.00 s'
+    """
+    seconds = float(seconds)
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.2f} s"
+    if abs(seconds) >= MS:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds / US:.2f} us"

@@ -1,0 +1,51 @@
+"""Model accounting: configurations, per-layer profiles, footprints.
+
+Presets reproduce the paper's Table IV (LLMs) and Table VI (DiT models);
+:func:`profile_model` turns a config + batch size into the quantities the
+planner and simulator consume (FLOPs, activation segments, model-state
+bytes).
+"""
+
+from .config import (
+    DIT_PRESETS,
+    DiTConfig,
+    LLM_PRESETS,
+    ModelConfigError,
+    TransformerConfig,
+    dit,
+    llm,
+    synthetic_llm,
+)
+from .footprint import ModelStateFootprint
+from .layers import (
+    FP16,
+    FP32,
+    ActivationSegment,
+    BlockProfile,
+    dit_block_profile,
+    gpt_block_profile,
+)
+from .introspect import IntrospectionError, profile_from_module
+from .profile import ModelProfile, profile_model
+
+__all__ = [
+    "DIT_PRESETS",
+    "DiTConfig",
+    "LLM_PRESETS",
+    "ModelConfigError",
+    "TransformerConfig",
+    "dit",
+    "llm",
+    "synthetic_llm",
+    "ModelStateFootprint",
+    "FP16",
+    "FP32",
+    "ActivationSegment",
+    "BlockProfile",
+    "dit_block_profile",
+    "gpt_block_profile",
+    "ModelProfile",
+    "profile_model",
+    "IntrospectionError",
+    "profile_from_module",
+]

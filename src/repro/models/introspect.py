@@ -1,0 +1,70 @@
+"""Derive the analytic model profile from a live runtime model.
+
+The paper's §IV-B: "Ratel parses the PyTorch model definition during
+initialization to obtain P, A_all, and the number of GPU floating point
+operations of each model layer".  This module is that parser for our
+functional runtime: given a :class:`repro.runtime.GPTModel` (or
+:class:`repro.runtime.DiTModel`), it reads the architecture off the live
+module tree and builds the :class:`~repro.models.profile.ModelProfile`
+the planner consumes — so the same object that *trains* can be *planned
+for*, with no hand-written config.
+"""
+
+from __future__ import annotations
+
+from .config import DiTConfig, TransformerConfig
+from .profile import ModelProfile, profile_model
+
+
+class IntrospectionError(TypeError):
+    """Raised when a module tree does not look like a supported model."""
+
+
+def profile_from_module(model, batch_size: int) -> ModelProfile:
+    """Build a planning profile by inspecting a runtime model instance.
+
+    Dispatches on the module's structure (GPT vs DiT); raises
+    :class:`IntrospectionError` for anything else.
+    """
+    kind = type(model).__name__
+    if kind == "GPTModel":
+        return profile_model(_gpt_config(model), batch_size)
+    if kind == "DiTModel":
+        return profile_model(_dit_config(model), batch_size)
+    raise IntrospectionError(
+        f"cannot introspect a {kind}; expected GPTModel or DiTModel"
+    )
+
+
+def _gpt_config(model) -> TransformerConfig:
+    if not getattr(model, "blocks", None):
+        raise IntrospectionError("GPT model has no transformer blocks")
+    vocab_size, dim = model.token_emb.weight.shape
+    seq_len = model.pos_emb.shape[0]
+    first = model.blocks[0]
+    n_heads = first.attn.n_heads
+    ffn_mult = first.mlp.fc1.weight.shape[1] // dim
+    return TransformerConfig(
+        name=f"introspected-gpt-{dim}",
+        n_layers=len(model.blocks),
+        n_heads=n_heads,
+        hidden_dim=dim,
+        seq_len=seq_len,
+        vocab_size=vocab_size,
+        ffn_mult=ffn_mult,
+        tie_embeddings=False,  # the runtime GPT has a separate head
+    )
+
+
+def _dit_config(model) -> DiTConfig:
+    if not getattr(model, "blocks", None):
+        raise IntrospectionError("DiT model has no blocks")
+    first = model.blocks[0]
+    return DiTConfig(
+        name=f"introspected-dit-{model.dim}",
+        n_layers=len(model.blocks),
+        n_heads=first.attn.n_heads,
+        hidden_dim=model.dim,
+        image_size=model.latent_side * 8,
+        patch_size=model.patch_size,
+    )

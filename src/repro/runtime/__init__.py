@@ -1,0 +1,91 @@
+"""The functional Ratel runtime: real training with real data movement.
+
+A NumPy reverse-mode autograd engine (:mod:`~repro.runtime.tensor`),
+PyTorch-style modules (:mod:`~repro.runtime.modules`), a capacity-
+enforcing three-tier storage hierarchy with genuine disk spill
+(:mod:`~repro.runtime.storage`), the out-of-core mixed-precision Adam
+(:mod:`~repro.runtime.optim`), the checkpoint/offload engine
+(:mod:`~repro.runtime.offload`) and the paper's Fig.-4 user API
+(:mod:`~repro.runtime.api`).
+
+This package answers the *correctness* questions about Ratel's design —
+no staleness, recompute fidelity, exact traffic accounting — while
+:mod:`repro.sim` + :mod:`repro.core` answer the *performance* ones.
+"""
+
+from .api import RatelAPIError, RatelContext, RatelOptimizer, current_context, ratel_hook, ratel_init
+from .dit import AdaLNBlock, DiTModel, denoising_loss, timestep_embedding
+from .serialization import CheckpointError, load_checkpoint, save_checkpoint
+from .textgen import CharTokenizer, generate, sample_batches
+from .modules import (
+    CrossEntropyLoss,
+    Embedding,
+    GPTModel,
+    LayerNorm,
+    Linear,
+    MLP,
+    MSELoss,
+    Module,
+    MultiHeadAttention,
+    TransformerBlock,
+)
+from .offload import RatelRuntime
+from .optim import Adam, CPUAdam, LRSchedule, OptimizerError, clip_gradients
+from .storage import (
+    GPU,
+    HOST,
+    NVME,
+    StorageError,
+    StorageManager,
+    StoredTensor,
+    Tier,
+    TierCapacityError,
+)
+from .tensor import AutogradError, Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "RatelAPIError",
+    "AdaLNBlock",
+    "DiTModel",
+    "denoising_loss",
+    "timestep_embedding",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
+    "CharTokenizer",
+    "generate",
+    "sample_batches",
+    "RatelContext",
+    "RatelOptimizer",
+    "current_context",
+    "ratel_hook",
+    "ratel_init",
+    "CrossEntropyLoss",
+    "Embedding",
+    "GPTModel",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "MSELoss",
+    "Module",
+    "MultiHeadAttention",
+    "TransformerBlock",
+    "RatelRuntime",
+    "Adam",
+    "CPUAdam",
+    "LRSchedule",
+    "OptimizerError",
+    "clip_gradients",
+    "GPU",
+    "HOST",
+    "NVME",
+    "StorageError",
+    "StorageManager",
+    "StoredTensor",
+    "Tier",
+    "TierCapacityError",
+    "AutogradError",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

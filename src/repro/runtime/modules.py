@@ -1,0 +1,312 @@
+"""Neural-network modules for the functional runtime.
+
+A PyTorch-flavoured module system (parameters, named submodules, forward
+hooks) with the layers a GPT/DiT training loop needs.  The hook points
+are what :func:`repro.runtime.api.ratel_hook` instruments — mirroring
+how the paper's implementation injects its data-movement management into
+an unmodified PyTorch model (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: parameter registry, submodules, forward hooks."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self._pre_hooks: list[Callable[["Module", tuple], None]] = []
+        self._post_hooks: list[Callable[["Module", tuple, Tensor], None]] = []
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, tensor: Tensor) -> None:
+        """Explicitly register a trainable tensor."""
+        self._parameters[name] = tensor
+        object.__setattr__(self, name, tensor)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a submodule (used for module lists)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable tensors, depth-first."""
+        for _name, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """(qualified name, tensor) pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(f"{prefix}{name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """(qualified name, module) pairs including self."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(f"{prefix}{name}.")
+
+    def register_forward_pre_hook(self, hook) -> None:
+        """``hook(module, inputs)`` before forward."""
+        self._pre_hooks.append(hook)
+
+    def register_forward_hook(self, hook) -> None:
+        """``hook(module, inputs, output)`` after forward."""
+        self._post_hooks.append(hook)
+
+    def __call__(self, *inputs):
+        for hook in self._pre_hooks:
+            hook(self, inputs)
+        output = self.forward(*inputs)
+        for hook in self._post_hooks:
+            hook(self, inputs, output)
+        return output
+
+    def forward(self, *inputs):
+        """Compute the module's output; subclasses override."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def n_params(self) -> int:
+        """Total trainable element count."""
+        return sum(param.size for param in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of all parameter arrays, keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Install parameter values from :meth:`state_dict` output.
+
+        Names and shapes must match exactly (missing/extra/mismatched
+        entries raise ``ValueError``).
+        """
+        params = dict(self.named_parameters())
+        if set(state) != set(params):
+            missing = sorted(set(params) - set(state))
+            extra = sorted(set(state) - set(params))
+            raise ValueError(f"state dict mismatch: missing {missing}, extra {extra}")
+        for name, value in state.items():
+            if value.shape != params[name].data.shape:
+                raise ValueError(f"shape mismatch for {name!r}")
+            params[name].data = np.array(value, dtype=np.float32, copy=True)
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with GPT-2-style initialization."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        scale = 1.0 / np.sqrt(in_dim)
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(in_dim, out_dim)).astype(np.float32),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_dim, dtype=np.float32), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gain = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True)
+        self.shift = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred * (var + self.eps) ** -0.5
+        return normed * self.gain + self.shift
+
+
+class Embedding(Module):
+    """Token-id to vector lookup."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, size=(vocab_size, dim)).astype(np.float32),
+            requires_grad=True,
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return self.weight.embedding(ids)
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator, causal: bool = True) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {n_heads}")
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # (b, s, 3d)
+        qkv = qkv.reshape(batch, seq, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, b, h, s, hd)
+        q = qkv.reshape(3, batch * self.n_heads, seq, self.head_dim)
+        # Slice q/k/v via matmul-free indexing: reshape keeps autograd; we
+        # split by separate gathers below.
+        q_part = _take_first_axis(q, 0)
+        k_part = _take_first_axis(q, 1)
+        v_part = _take_first_axis(q, 2)
+        scores = (q_part @ _swap_last(k_part)) * (1.0 / np.sqrt(self.head_dim))
+        if self.causal:
+            mask = np.triu(np.full((seq, seq), -1e9, dtype=np.float32), k=1)
+            scores = scores + Tensor(mask)
+        attn = scores.softmax(axis=-1)
+        context = attn @ v_part  # (b*h, s, hd)
+        context = context.reshape(batch, self.n_heads, seq, self.head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.proj(context)
+
+
+class MLP(Module):
+    """The transformer feed-forward block: Linear -> GELU -> Linear."""
+
+    def __init__(self, dim: int, hidden_mult: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_mult * dim, rng)
+        self.fc2 = Linear(hidden_mult * dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).gelu())
+
+
+class TransformerBlock(Module):
+    """Pre-norm GPT block: LN -> attention -> LN -> MLP, residuals."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator, ffn_mult: int = 4) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = MLP(dim, ffn_mult, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        return x + self.mlp(self.ln2(x))
+
+
+class GPTModel(Module):
+    """A decoder-only LM: embeddings, block stack, final norm, LM head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        max_seq: int,
+        rng: np.random.Generator,
+        ffn_mult: int = 4,
+    ) -> None:
+        super().__init__()
+        self.token_emb = Embedding(vocab_size, dim, rng)
+        self.pos_emb = Tensor(
+            rng.normal(0.0, 0.02, size=(max_seq, dim)).astype(np.float32),
+            requires_grad=True,
+        )
+        self.blocks: list[TransformerBlock] = []
+        for i in range(n_layers):
+            block = TransformerBlock(dim, n_heads, rng, ffn_mult)
+            self.add_module(f"block{i}", block)
+            self.blocks.append(block)
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, vocab_size, rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        seq = ids.shape[1]
+        x = self.token_emb(ids) + _slice_rows(self.pos_emb, seq)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.ln_f(x))
+
+
+class MSELoss(Module):
+    """Mean squared error (the loss in the paper's Fig. 4 sketch)."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        diff = prediction - target
+        return (diff * diff).mean()
+
+
+class CrossEntropyLoss(Module):
+    """Token-level cross entropy over logits (b, s, V) and int targets (b, s)."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        probs = logits.softmax(axis=-1)
+        batch, seq, vocab = logits.shape
+        onehot = np.zeros((batch, seq, vocab), dtype=np.float32)
+        flat = targets.reshape(-1)
+        onehot.reshape(-1, vocab)[np.arange(flat.size), flat] = 1.0
+        picked = (probs * Tensor(onehot)).sum(axis=-1)
+        return -(picked.log().mean())
+
+
+def _take_first_axis(tensor: Tensor, index: int) -> Tensor:
+    """Differentiable ``tensor[index]`` along axis 0."""
+    out = Tensor(tensor.data[index])
+
+    def backward() -> None:
+        if not tensor.requires_grad:
+            return
+        grad = np.zeros_like(tensor.data)
+        grad[index] = out.grad
+        tensor._accumulate(grad)
+
+    out._make_node((tensor,), backward)
+    return out
+
+
+def _swap_last(tensor: Tensor) -> Tensor:
+    """Differentiable transpose of the last two axes."""
+    axes = list(range(tensor.data.ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return tensor.transpose(*axes)
+
+
+def _slice_rows(tensor: Tensor, n: int) -> Tensor:
+    """Differentiable ``tensor[:n]`` (position-embedding lookup)."""
+    out = Tensor(tensor.data[:n])
+
+    def backward() -> None:
+        if not tensor.requires_grad:
+            return
+        grad = np.zeros_like(tensor.data)
+        grad[:n] = out.grad
+        tensor._accumulate(grad)
+
+    out._make_node((tensor,), backward)
+    return out

@@ -1,0 +1,296 @@
+"""The functional offload engine: Ratel's data movement, executed.
+
+:class:`RatelRuntime` drives real training (on the NumPy autograd
+substrate) with the paper's two mechanisms:
+
+* **activation checkpointing with offloaded boundaries** — each
+  transformer block is wrapped so its intra-block activations are
+  discarded and recomputed in backward, while the block-boundary input
+  is physically moved to the host or NVMe tier of the
+  :class:`~repro.runtime.storage.StorageManager` and fetched back just
+  before that block's backward (the minimum-safe swap set of §IV-D);
+* **active gradient offloading** — every parameter carries an autograd
+  hook that fires the moment its gradient is complete *during* backward:
+  the fp16 gradient moves to the host, the out-of-core
+  :class:`~repro.runtime.optim.CPUAdam` consumes it (fetching and
+  writing back the fp32 states on their resting tier), and the fresh
+  fp16 copy is installed for the next iteration (§IV-C).
+
+No staleness: a block's parameters update only after that block's own
+backward (and recompute) has finished, and no earlier block reads them
+again within the iteration — so active updates produce *bit-identical*
+parameters to a deferred optimizer stage.  The integration tests assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import storage as st
+from .modules import Module
+from .optim import CPUAdam
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+
+class RatelRuntime:
+    """Training driver with checkpointed blocks and an active optimizer."""
+
+    def __init__(
+        self,
+        model: Module,
+        manager: st.StorageManager,
+        optimizer: CPUAdam,
+        *,
+        blocks: list[Module] | None = None,
+        checkpoint_tier: str = st.NVME,
+        active_offload: bool = True,
+        delayed_update: bool = False,
+    ) -> None:
+        if checkpoint_tier not in (st.HOST, st.NVME):
+            raise ValueError("checkpoint_tier must be 'host' or 'nvme'")
+        if delayed_update and active_offload:
+            raise ValueError(
+                "delayed_update models ZeRO-Offload's one-step delay; it is "
+                "mutually exclusive with active gradient offloading"
+            )
+        self.model = model
+        self.manager = manager
+        self.optimizer = optimizer
+        self.checkpoint_tier = checkpoint_tier
+        self.active_offload = active_offload
+        #: ZeRO-Offload's "one-step delayed update": step i's optimizer
+        #: overlaps step i+1's forward/backward, so step i+1 computes on
+        #: parameters one update behind — the *staleness* the paper rules
+        #: out (§IV-C footnote).  Kept as an executable counter-example.
+        self.delayed_update = delayed_update
+        self._pending_grads: list[tuple[str, "np.ndarray"]] = []
+        self._suppress_handlers = False
+        self.step = 0
+        #: parameter names updated this step, in hook-firing order —
+        #: lets tests assert the last-block-first arrival order of §IV-C.
+        self.update_order: list[str] = []
+        self._handlers_installed = False
+
+        target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
+        for index, block in enumerate(target_blocks):
+            self._wrap_block(block, index)
+        self._install_gradient_handlers()
+
+    # -- public API -------------------------------------------------------------
+
+    def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
+        """Run one iteration: forward + backward (+ optimizer, per mode).
+
+        ``loss_fn`` builds the loss tensor (it closes over the batch);
+        returns the scalar loss value.
+        """
+        self.step += 1
+        self.update_order.clear()
+        self.model.zero_grad()
+        loss = loss_fn()
+        loss.backward()
+        if self.delayed_update:
+            self._apply_delayed_update()
+        elif not self.active_offload:
+            # Deferred mode (the Ratel+ZeRO ablation): one optimizer pass
+            # after backward, in the same last-to-first order gradients
+            # arrived.
+            for name, param in reversed(list(self.model.named_parameters())):
+                if param.grad is not None:
+                    self._consume_gradient(name, param)
+        return float(loss.data)
+
+    def train_step_accumulate(self, loss_fns: list[Callable[[], Tensor]]) -> float:
+        """One optimizer step over several micro-batches (gradient accumulation).
+
+        Larger effective batches than GPU memory allows are standard in
+        offloaded fine-tuning.  The interplay with active gradient
+        offloading is subtle: the per-parameter handlers must *not*
+        consume gradients until the final micro-batch's backward, or the
+        optimizer would take one step per micro-batch.  The runtime
+        suppresses the handlers during the early micro-batches (gradients
+        simply accumulate on the parameters, as autograd does naturally)
+        and re-arms them for the last one, which then consumes the summed
+        gradient.  Returns the mean micro-batch loss.
+        """
+        if not loss_fns:
+            raise ValueError("need at least one micro-batch")
+        self.step += 1
+        self.update_order.clear()
+        self.model.zero_grad()
+        total = 0.0
+        scale = 1.0 / len(loss_fns)
+        for index, loss_fn in enumerate(loss_fns):
+            final = index == len(loss_fns) - 1
+            self._suppress_handlers = not final
+            loss = loss_fn() * scale
+            loss.backward()
+            total += float(loss.data)
+        self._suppress_handlers = False
+        if self.delayed_update:
+            self._apply_delayed_update()
+        elif not self.active_offload:
+            for name, param in reversed(list(self.model.named_parameters())):
+                if param.grad is not None:
+                    self._consume_gradient(name, param)
+        return total
+
+    def train_step_clipped(
+        self, loss_fn: Callable[[], Tensor], max_grad_norm: float
+    ) -> tuple[float, float]:
+        """One iteration with global-norm gradient clipping.
+
+        Global-norm clipping needs every gradient *before any* update, so
+        it fundamentally conflicts with active gradient offloading, which
+        consumes each gradient mid-backward (a data-movement/algorithm
+        tension the paper does not discuss).  This method therefore
+        requires deferred mode and raises otherwise.  Returns
+        ``(loss, pre-clip gradient norm)``.
+        """
+        from .optim import clip_gradients
+
+        if self.active_offload:
+            raise RuntimeError(
+                "global-norm clipping requires all gradients before any "
+                "update; construct the runtime with active_offload=False "
+                "(or clip per-parameter upstream)"
+            )
+        self.step += 1
+        self.update_order.clear()
+        self.model.zero_grad()
+        loss = loss_fn()
+        loss.backward()
+        norm = clip_gradients(list(self.model.named_parameters()), max_grad_norm)
+        if self.delayed_update:
+            self._apply_delayed_update()
+        else:
+            for name, param in reversed(list(self.model.named_parameters())):
+                if param.grad is not None:
+                    self._consume_gradient(name, param)
+        return float(loss.data), norm
+
+    def _apply_delayed_update(self) -> None:
+        """One-step-delayed optimizer: apply *last* step's gradients.
+
+        The gradients just produced are queued; the parameter values the
+        next forward/backward read are therefore one update behind — the
+        staleness Ratel's synchronous design avoids.
+        """
+        params = dict(self.model.named_parameters())
+        for name, grad16 in self._pending_grads:
+            fresh = self.optimizer.step_param(name, grad16)
+            params[name].data = fresh.copy()
+            self.update_order.append(name)
+        self._pending_grads = []
+        for name, param in reversed(list(self.model.named_parameters())):
+            if param.grad is not None:
+                grad16 = param.grad.astype(np.float16).astype(np.float32)
+                self._pending_grads.append((name, grad16))
+                param.zero_grad()
+
+    # -- block checkpointing --------------------------------------------------------
+
+    def _wrap_block(self, block: Module, index: int) -> None:
+        """Replace ``block.forward`` with a checkpoint-and-offload version."""
+        original = block.forward
+
+        def checkpointed(*args) -> Tensor:
+            return self._checkpoint(original, index, *args)
+
+        object.__setattr__(block, "forward", checkpointed)
+
+    def _checkpoint(self, forward: Callable[..., Tensor], index: int, *args) -> Tensor:
+        """Run ``forward`` without a graph; arrange recompute in backward.
+
+        The first argument is the block-boundary activation: it is stored
+        through the manager (GPU -> swap tier now, swap tier -> GPU at
+        backward), so the byte counters see the real activation traffic.
+        Additional tensor arguments (e.g. a DiT block's conditioning
+        vector) are small and stay resident; their gradients flow through
+        the recompute pass like the boundary's.
+        """
+        if not args or not isinstance(args[0], Tensor):
+            raise TypeError("checkpointed blocks take the boundary Tensor first")
+        if not is_grad_enabled():
+            # Inference (e.g. generation): no backward will come, so no
+            # boundary needs storing and no recompute needs arranging.
+            return forward(*args)
+        with no_grad():
+            shadow = [
+                Tensor(arg.data) if isinstance(arg, Tensor) else arg for arg in args
+            ]
+            out_data = forward(*shadow).data
+
+        name = f"act_b{index}_s{self.step}"
+        stored = self.manager.put(name, args[0].data, st.GPU, itemsize=2)
+        self.manager.move(stored, self.checkpoint_tier)
+        extras = [
+            (i, arg.data.copy()) for i, arg in enumerate(args)
+            if i > 0 and isinstance(arg, Tensor)
+        ]
+
+        out = Tensor(out_data)
+        tensor_parents = tuple(arg for arg in args if isinstance(arg, Tensor))
+
+        def backward() -> None:
+            self.manager.move(stored, st.GPU)
+            locals_: list = list(args)
+            local_tensors: dict[int, Tensor] = {}
+            local_tensors[0] = Tensor(stored.data(), requires_grad=True)
+            locals_[0] = local_tensors[0]
+            self.manager.drop(stored)
+            for i, data in extras:
+                local_tensors[i] = Tensor(data, requires_grad=True)
+                locals_[i] = local_tensors[i]
+            recomputed = forward(*locals_)
+            recomputed.backward(out.grad)
+            for i, local in local_tensors.items():
+                original_arg = args[i]
+                if original_arg.requires_grad and local.grad is not None:
+                    original_arg._accumulate(local.grad)
+
+        out._make_node(tensor_parents, backward)
+        # Force graph linkage even when no input requires grad (the
+        # block's parameters always do, via the recompute pass).
+        out.requires_grad = True
+        out._parents = tensor_parents
+        out._backward = backward
+        return out
+
+    # -- active gradient offloading ------------------------------------------------------
+
+    def _install_gradient_handlers(self) -> None:
+        if self._handlers_installed:
+            raise RuntimeError("gradient handlers already installed")
+        self._handlers_installed = True
+        if not self.active_offload:
+            return
+        for name, param in self.model.named_parameters():
+            self._attach_handler(name, param)
+
+    def _attach_handler(self, name: str, param: Tensor) -> None:
+        def handler(tensor: Tensor) -> None:
+            if tensor.grad is None or self._suppress_handlers:
+                # Gradient-accumulation micro-batches: leave the gradient
+                # in place; the final micro-batch consumes the sum.
+                return
+            self._consume_gradient(name, tensor)
+
+        param.register_hook(handler)
+
+    def _consume_gradient(self, name: str, param: Tensor) -> None:
+        """§IV-C handler: G16 to host, CPU Adam update, fresh P16 installed."""
+        grad16 = param.grad.astype(np.float16).astype(np.float32)
+        grad_name = f"{name}.grad.s{self.step}"
+        stored = self.manager.put(grad_name, grad16, st.GPU, itemsize=2)
+        self.manager.move(stored, st.HOST)
+        fresh_p16 = self.optimizer.step_param(name, stored.data())
+        self.manager.drop(stored)
+        # The new fp16 copy crosses back for the *next* iteration's
+        # compute; the current backward never reads it again.
+        param.data = fresh_p16.copy()
+        param.zero_grad()
+        self.update_order.append(name)

@@ -1,0 +1,258 @@
+"""Optimizers: reference Adam and the out-of-core CPU Adam.
+
+:class:`Adam` is the textbook in-memory implementation (what a GPU
+optimizer does).  :class:`CPUAdam` is the mixed-precision out-of-core
+version the paper's systems run on the host: fp32 master parameters and
+moments (P32 + OS32) live in the storage hierarchy (host or NVMe tier),
+fp16 gradients arrive from the "GPU", and each step produces a fresh
+fp16 parameter copy (P16) for the next iteration's compute.
+
+``CPUAdam.step_param`` updates a *single* parameter tensor — the unit
+Ratel's active gradient offloading calls the moment that parameter's
+gradient lands in main memory (§IV-C).  Updates are synchronous: the
+parameter's fp16 copy is refreshed before any later iteration reads it,
+so there is no staleness (verified by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import storage as st
+from .tensor import Tensor
+
+
+class OptimizerError(RuntimeError):
+    """Raised for invalid optimizer usage (missing grad, unknown param)."""
+
+
+class Adam:
+    """Standard Adam/AdamW over a list of (name, tensor) parameters.
+
+    ``weight_decay`` applies decoupled (AdamW-style) decay — the standard
+    choice for transformer fine-tuning.
+    """
+
+    def __init__(
+        self,
+        params: list[tuple[str, Tensor]],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if weight_decay < 0:
+            raise OptimizerError("weight decay cannot be negative")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m = {name: np.zeros_like(p.data) for name, p in self.params}
+        self._v = {name: np.zeros_like(p.data) for name, p in self.params}
+
+    def step(self) -> None:
+        """One update over every parameter (requires populated grads)."""
+        self.step_count += 1
+        for name, param in self.params:
+            if param.grad is None:
+                raise OptimizerError(f"parameter {name!r} has no gradient")
+            self._update(name, param.data, param.grad)
+
+    def _update(self, name: str, data: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m[name]
+        v = self._v[name]
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad**2
+        m_hat = m / (1 - self.beta1**self.step_count)
+        v_hat = v / (1 - self.beta2**self.step_count)
+        if self.weight_decay:
+            data -= self.lr * self.weight_decay * data
+        data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for _name, param in self.params:
+            param.zero_grad()
+
+
+class LRSchedule:
+    """Linear warmup followed by cosine decay — the GPT fine-tuning default.
+
+    Call :meth:`at` for the learning rate of a given step, or
+    :meth:`apply` to install it on an optimizer before its step.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        if base_lr <= 0:
+            raise OptimizerError("base learning rate must be positive")
+        if warmup_steps < 0 or total_steps <= 0 or warmup_steps > total_steps:
+            raise OptimizerError("need 0 <= warmup_steps <= total_steps, total > 0")
+        if not 0 <= min_lr <= base_lr:
+            raise OptimizerError("need 0 <= min_lr <= base_lr")
+        self.base_lr = base_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def at(self, step: int) -> float:
+        """Learning rate for 1-indexed ``step``."""
+        if step < 1:
+            raise OptimizerError("steps are 1-indexed")
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        if step >= self.total_steps:
+            return self.min_lr
+        span = self.total_steps - self.warmup_steps
+        progress = (step - self.warmup_steps) / span
+        cosine = 0.5 * (1 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def apply(self, optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for this step; returns the rate used."""
+        rate = self.at(step)
+        optimizer.lr = rate
+        return rate
+
+
+def clip_gradients(params: list[tuple[str, Tensor]], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm.
+
+    Note the systems tension the paper does not discuss: global-norm
+    clipping needs *every* gradient before *any* parameter updates, so it
+    is incompatible with active gradient offloading (which consumes each
+    gradient the moment it lands).  The runtime therefore supports it
+    only in deferred-optimizer mode — see
+    :meth:`repro.runtime.offload.RatelRuntime.train_step_clipped`.
+    """
+    if max_norm <= 0:
+        raise OptimizerError("max_norm must be positive")
+    total = 0.0
+    for name, param in params:
+        if param.grad is None:
+            raise OptimizerError(f"parameter {name!r} has no gradient to clip")
+        total += float((param.grad.astype(np.float64) ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for _name, param in params:
+            param.grad *= scale
+    return norm
+
+
+class CPUAdam:
+    """Out-of-core mixed-precision Adam over a storage hierarchy.
+
+    For each parameter ``name`` the optimizer owns three stored tensors:
+
+    * ``{name}.p32``  — fp32 master weights (4 bytes/param),
+    * ``{name}.m32`` / ``{name}.v32`` — fp32 Adam moments (8 bytes/param),
+    * ``{name}.p16``  — the fp16 compute copy the model reads.
+
+    ``states_tier`` is where P32/OS32 rest between steps (``nvme`` for
+    Ratel/ZeRO-Infinity, ``host`` for ZeRO-Offload); each ``step_param``
+    moves them to the host, updates, and moves them back — every byte of
+    which the :class:`~repro.runtime.storage.StorageManager` counts.
+    """
+
+    def __init__(
+        self,
+        params: list[tuple[str, Tensor]],
+        manager: st.StorageManager,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        states_tier: str = st.NVME,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if states_tier not in (st.NVME, st.HOST):
+            raise OptimizerError("states_tier must be 'nvme' or 'host'")
+        if weight_decay < 0:
+            raise OptimizerError("weight decay cannot be negative")
+        self.manager = manager
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.states_tier = states_tier
+        self.step_counts: dict[str, int] = {}
+        self.params = dict(params)
+        for name, param in params:
+            manager.put(f"{name}.p32", param.data.copy(), st.HOST, itemsize=4)
+            manager.put(f"{name}.m32", np.zeros_like(param.data), st.HOST, itemsize=4)
+            manager.put(f"{name}.v32", np.zeros_like(param.data), st.HOST, itemsize=4)
+            p16 = param.data.astype(np.float16).astype(np.float32)
+            manager.put(f"{name}.p16", p16, st.HOST, itemsize=2)
+            for suffix in ("p32", "m32", "v32", "p16"):
+                manager.move(manager.get(f"{name}.{suffix}"), states_tier)
+            self.step_counts[name] = 0
+            # The model computes on the fp16 copy from step zero,
+            # exactly like mixed-precision PyTorch training.
+            param.data = p16.copy()
+
+    def step_param(self, name: str, grad_fp16: np.ndarray) -> np.ndarray:
+        """Consume one parameter's gradient: fetch states, update, write back.
+
+        Returns the refreshed fp16 copy (already stored); the caller
+        installs it into the model parameter for the next iteration.
+        This is the §IV-C user-level handler.
+        """
+        if name not in self.params:
+            raise OptimizerError(f"unknown parameter {name!r}")
+        self.step_counts[name] += 1
+        step = self.step_counts[name]
+
+        p32 = self.manager.get(f"{name}.p32")
+        m32 = self.manager.get(f"{name}.m32")
+        v32 = self.manager.get(f"{name}.v32")
+        p16 = self.manager.get(f"{name}.p16")
+        # SSD -> main: bring the states to the CPU.
+        for stored in (p32, m32, v32):
+            self.manager.move(stored, st.HOST)
+
+        grad = grad_fp16.astype(np.float32)
+        m = m32.data()
+        v = v32.data()
+        weights = p32.data()
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad**2
+        m_hat = m / (1 - self.beta1**step)
+        v_hat = v / (1 - self.beta2**step)
+        if self.weight_decay:
+            weights -= self.lr * self.weight_decay * weights
+        weights -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+        fresh_p16 = weights.astype(np.float16).astype(np.float32)
+        self.manager.move(p16, st.HOST)
+        p16.array = fresh_p16.copy()
+        # Main -> SSD: updated states and the new fp16 copy go back.
+        for stored in (p32, m32, v32, p16):
+            self.manager.move(stored, self.states_tier)
+        return fresh_p16
+
+    def fetch_p16(self, name: str) -> np.ndarray:
+        """Read a parameter's current fp16 copy (moves it host-side)."""
+        stored = self.manager.get(f"{name}.p16")
+        self.manager.move(stored, st.HOST)
+        value = stored.data().copy()
+        self.manager.move(stored, self.states_tier)
+        return value
+
+    def master_weights(self, name: str) -> np.ndarray:
+        """Read a parameter's fp32 master copy (for verification)."""
+        stored = self.manager.get(f"{name}.p32")
+        self.manager.move(stored, st.HOST)
+        value = stored.data().copy()
+        self.manager.move(stored, self.states_tier)
+        return value

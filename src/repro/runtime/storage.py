@@ -1,0 +1,247 @@
+"""Three-tier tensor storage: GPU / main memory / NVMe.
+
+The functional runtime's stand-in for device memory, pinned host buffers
+and the SSD array.  Every tensor the offload engine manages lives in a
+:class:`StoredTensor` registered with a :class:`StorageManager`, which
+
+* enforces per-tier capacities (moving a tensor into a full tier raises
+  :class:`TierCapacityError`, the runtime's "CUDA OOM");
+* counts every byte moved over each inter-tier link — the counters the
+  tests compare against the analytic traffic model;
+* really spills: tensors moved to the ``nvme`` tier are written to disk
+  (``.npy`` in a spill directory) and their in-memory payload dropped,
+  so out-of-core behaviour is genuine, not simulated.
+
+Byte accounting uses the tensor's *storage* dtype (fp16 for activations
+and compute parameters, fp32 for master states) independent of the
+float32 the math runs in.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+GPU = "gpu"
+HOST = "host"
+NVME = "nvme"
+TIERS = (GPU, HOST, NVME)
+
+#: Links the manager tracks, as (source, destination) tier pairs.
+LINKS = (
+    (GPU, HOST),
+    (HOST, GPU),
+    (HOST, NVME),
+    (NVME, HOST),
+)
+
+
+class TierCapacityError(MemoryError):
+    """Raised when a tier cannot hold a tensor (the runtime's OOM)."""
+
+
+class StorageError(RuntimeError):
+    """Raised for invalid storage operations (unknown tier, double free)."""
+
+
+@dataclass
+class Tier:
+    """One memory tier with capacity enforcement and peak tracking."""
+
+    name: str
+    capacity_bytes: float
+    used_bytes: float = 0.0
+    peak_bytes: float = 0.0
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve ``nbytes``; raises :class:`TierCapacityError` if full."""
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise TierCapacityError(
+                f"tier {self.name!r}: allocating {nbytes / 1e6:.1f} MB would exceed "
+                f"capacity ({self.used_bytes / 1e6:.1f}/{self.capacity_bytes / 1e6:.1f} MB used)"
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def free(self, nbytes: float) -> None:
+        """Release ``nbytes``."""
+        if nbytes > self.used_bytes + 1e-6:
+            raise StorageError(f"tier {self.name!r}: freeing more than allocated")
+        self.used_bytes -= nbytes
+
+
+@dataclass
+class StoredTensor:
+    """A managed array with a tier location and a storage dtype.
+
+    ``itemsize`` is the storage width in bytes (2 for fp16 tensors, 4
+    for fp32 master states); the in-memory math stays float32.
+    """
+
+    name: str
+    array: np.ndarray | None
+    tier: str
+    itemsize: int
+    manager: "StorageManager"
+    _spill_path: str | None = None
+    _spill_shape: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def nbytes(self) -> float:
+        """Accounted bytes at the storage dtype."""
+        return self._count * self.itemsize
+
+    @property
+    def _count(self) -> int:
+        if self.array is not None:
+            return self.array.size
+        return int(np.prod(self._spill_shape))
+
+    def data(self) -> np.ndarray:
+        """The payload; the tensor must currently be resident (not on NVMe)."""
+        if self.array is None:
+            raise StorageError(
+                f"tensor {self.name!r} is spilled to NVMe; move it to host/gpu first"
+            )
+        return self.array
+
+
+class StorageManager:
+    """Capacity-enforcing, byte-counting mover between the three tiers."""
+
+    def __init__(
+        self,
+        gpu_capacity: float,
+        host_capacity: float,
+        nvme_capacity: float,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.tiers = {
+            GPU: Tier(GPU, gpu_capacity),
+            HOST: Tier(HOST, host_capacity),
+            NVME: Tier(NVME, nvme_capacity),
+        }
+        self.moved_bytes: dict[tuple[str, str], float] = {link: 0.0 for link in LINKS}
+        self._own_spill_dir = spill_dir is None
+        self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="ratel-nvme-")
+        self._spill_seq = 0
+        self._tensors: dict[str, StoredTensor] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def put(
+        self, name: str, array: np.ndarray, tier: str, itemsize: int = 2
+    ) -> StoredTensor:
+        """Register a new tensor in ``tier`` (it is 'produced' there)."""
+        self._check_tier(tier)
+        if name in self._tensors:
+            raise StorageError(f"tensor {name!r} already registered")
+        tensor = StoredTensor(
+            name=name,
+            array=np.ascontiguousarray(array, dtype=np.float32),
+            tier=tier,
+            itemsize=itemsize,
+            manager=self,
+        )
+        self.tiers[tier].allocate(tensor.nbytes)
+        if tier == NVME:
+            self._spill(tensor)
+        self._tensors[name] = tensor
+        return tensor
+
+    def drop(self, tensor: StoredTensor) -> None:
+        """Discard a tensor entirely (e.g. a recomputable activation)."""
+        self.tiers[tensor.tier].free(tensor.nbytes)
+        self._unspill_file(tensor)
+        self._tensors.pop(tensor.name, None)
+        tensor.array = None
+
+    def move(self, tensor: StoredTensor, dest: str) -> None:
+        """Move a tensor between tiers, counting the traffic.
+
+        A GPU<->NVMe move without GPUDirect bounces through the host, so
+        both hops are counted (that is the consumer-GPU data path the
+        paper targets).
+        """
+        self._check_tier(dest)
+        source = tensor.tier
+        if source == dest:
+            return
+        path = _route(source, dest)
+        self.tiers[dest].allocate(tensor.nbytes)
+        self.tiers[source].free(tensor.nbytes)
+        for hop in path:
+            self.moved_bytes[hop] += tensor.nbytes
+        if source == NVME:
+            self._load(tensor)
+        tensor.tier = dest
+        if dest == NVME:
+            self._spill(tensor)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def traffic(self, source: str, dest: str) -> float:
+        """Total bytes moved over one directed link so far."""
+        return self.moved_bytes[(source, dest)]
+
+    def get(self, name: str) -> StoredTensor:
+        """Look up a registered tensor by name."""
+        try:
+            return self._tensors[name]
+        except KeyError:
+            raise StorageError(f"unknown tensor {name!r}") from None
+
+    def close(self) -> None:
+        """Delete spill files (the manager owns its temp directory)."""
+        for tensor in list(self._tensors.values()):
+            self._unspill_file(tensor)
+        if self._own_spill_dir and os.path.isdir(self.spill_dir):
+            for entry in os.listdir(self.spill_dir):
+                os.unlink(os.path.join(self.spill_dir, entry))
+            os.rmdir(self.spill_dir)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _spill(self, tensor: StoredTensor) -> None:
+        """Write the payload to disk and drop it from memory."""
+        if tensor.array is None:
+            return
+        self._spill_seq += 1
+        path = os.path.join(self.spill_dir, f"{self._spill_seq:08d}.npy")
+        # fp16 tensors are persisted at fp16 width: the round-trip
+        # precision loss is part of faithful mixed-precision behaviour.
+        disk_dtype = np.float16 if tensor.itemsize == 2 else np.float32
+        np.save(path, tensor.array.astype(disk_dtype))
+        tensor._spill_shape = tensor.array.shape
+        tensor._spill_path = path
+        tensor.array = None
+
+    def _load(self, tensor: StoredTensor) -> None:
+        """Read a spilled payload back into memory."""
+        if tensor._spill_path is None:
+            raise StorageError(f"tensor {tensor.name!r} has no spill file")
+        tensor.array = np.load(tensor._spill_path).astype(np.float32)
+        self._unspill_file(tensor)
+
+    def _unspill_file(self, tensor: StoredTensor) -> None:
+        if tensor._spill_path is not None and os.path.exists(tensor._spill_path):
+            os.unlink(tensor._spill_path)
+        tensor._spill_path = None
+
+    def _check_tier(self, tier: str) -> None:
+        if tier not in self.tiers:
+            raise StorageError(f"unknown tier {tier!r}; choose from {TIERS}")
+
+
+def _route(source: str, dest: str) -> tuple[tuple[str, str], ...]:
+    """Hops a transfer takes (GPU<->NVMe bounces through the host)."""
+    if (source, dest) in LINKS:
+        return ((source, dest),)
+    if source == GPU and dest == NVME:
+        return ((GPU, HOST), (HOST, NVME))
+    if source == NVME and dest == GPU:
+        return ((NVME, HOST), (HOST, GPU))
+    raise StorageError(f"no route from {source!r} to {dest!r}")

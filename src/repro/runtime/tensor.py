@@ -1,0 +1,404 @@
+"""A small reverse-mode autograd engine on NumPy.
+
+This is the tensor substrate the functional Ratel runtime trains on —
+the stand-in for PyTorch's autograd in the paper's implementation.  It
+supports exactly what a GPT/DiT training loop needs: matmul,
+broadcasting arithmetic, reshapes/transposes, softmax, layer-norm
+statistics, GELU, embedding gather and reductions.
+
+Design notes:
+
+* every op appends a node with a closure ``backward`` that accumulates
+  into the parents' ``grad`` arrays;
+* :meth:`Tensor.backward` topologically sorts the graph and runs the
+  closures in reverse, invoking per-tensor *gradient hooks* the moment a
+  leaf's gradient is complete — that is the mechanism Ratel's active
+  gradient offloading (§IV-C) attaches to;
+* computation uses float32 for numerical fidelity; the *storage* dtype
+  (fp16 in mixed-precision training) is an accounting property handled
+  by :mod:`repro.runtime.storage`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+class AutogradError(RuntimeError):
+    """Raised for invalid autograd usage (double backward, shape bugs...)."""
+
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (for recompute phases)."""
+
+    def __enter__(self) -> None:
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Whether new ops record backward graph edges."""
+    return _grad_enabled
+
+
+class Tensor:
+    """An N-D array with an optional gradient and graph linkage."""
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents", "_hooks")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self.name = name
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._hooks: list[Callable[[Tensor], None]] = []
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return self.data.size
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{label}, requires_grad={self.requires_grad})"
+
+    # -- graph plumbing ----------------------------------------------------------
+
+    def register_hook(self, hook: Callable[["Tensor"], None]) -> None:
+        """Call ``hook(self)`` once this tensor's gradient is finalised.
+
+        Hooks fire during :meth:`backward`, in reverse-topological order —
+        for a stacked transformer that means the *last* block's parameters
+        first, exactly the arrival order §IV-C assumes.
+        """
+        self._hooks.append(hook)
+
+    def _make_node(
+        self, parents: Iterable["Tensor"], backward: Callable[[], None]
+    ) -> None:
+        parent_tuple = tuple(parent for parent in parents if isinstance(parent, Tensor))
+        if _grad_enabled and any(parent.requires_grad for parent in parent_tuple):
+            self.requires_grad = True
+            self._parents = parent_tuple
+            self._backward = backward
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (for scalar losses it is the usual 1).
+        Gradient hooks fire as each node's contribution set completes.
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() on a tensor that does not require grad")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        if grad is None:
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad, dtype=np.float32))
+
+        # Count how many times each tensor appears as a parent so hooks
+        # fire only when the gradient is complete.
+        pending: dict[int, int] = {}
+        for node in topo:
+            for parent in node._parents:
+                pending[id(parent)] = pending.get(id(parent), 0) + 1
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+            for parent in node._parents:
+                pending[id(parent)] -= 1
+                if pending[id(parent)] == 0:
+                    for hook in parent._hooks:
+                        hook(parent)
+        for hook in self._hooks:
+            hook(self)
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data + other.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad)
+            if other.requires_grad:
+                other._accumulate(out.grad)
+
+        out._make_node((self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out._make_node((self,), backward)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data * other.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * other.data)
+            if other.requires_grad:
+                other._accumulate(out.grad * self.data)
+
+        out._make_node((self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data / other.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-out.grad * self.data / (other.data**2))
+
+        out._make_node((self, other), backward)
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = Tensor(self.data**exponent)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._make_node((self,), backward)
+        return out
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Batched matrix multiply (NumPy semantics)."""
+        other = _as_tensor(other)
+        out = Tensor(self.data @ other.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ out.grad)
+
+        out._make_node((self, other), backward)
+        return out
+
+    __matmul__ = matmul
+
+    # -- shape ops ------------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape preserving gradient flow."""
+        out = Tensor(self.data.reshape(shape))
+        original = self.data.shape
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(original))
+
+        out._make_node((self,), backward)
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes preserving gradient flow."""
+        out = Tensor(self.data.transpose(axes))
+        inverse = np.argsort(axes)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._make_node((self,), backward)
+        return out
+
+    # -- reductions / nonlinearities ---------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Summation with gradient broadcast back."""
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims))
+        shape = self.data.shape
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, shape))
+
+        out._make_node((self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean via sum."""
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out = Tensor(np.exp(self.data))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._make_node((self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log."""
+        out = Tensor(np.log(self.data))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._make_node((self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        """Elementwise tanh."""
+        out = Tensor(np.tanh(self.data))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data**2))
+
+        out._make_node((self,), backward)
+        return out
+
+    def gelu(self) -> "Tensor":
+        """GELU (tanh approximation, as GPT implementations use)."""
+        x = self.data
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out = Tensor(0.5 * x * (1.0 + t))
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            dt = (1.0 - t**2) * c * (1.0 + 3 * 0.044715 * x**2)
+            self._accumulate(out.grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+
+        out._make_node((self,), backward)
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=axis, keepdims=True)
+        out = Tensor(probs)
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            dot = (out.grad * probs).sum(axis=axis, keepdims=True)
+            self._accumulate(probs * (out.grad - dot))
+
+        out._make_node((self,), backward)
+        return out
+
+    def embedding(self, ids: np.ndarray) -> "Tensor":
+        """Row gather: ``self`` is a (vocab, dim) table, ``ids`` int array."""
+        ids = np.asarray(ids)
+        out = Tensor(self.data[ids])
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, ids.reshape(-1), out.grad.reshape(-1, self.data.shape[-1]))
+            self._accumulate(grad)
+
+        out._make_node((self,), backward)
+        return out
+
+
+def _as_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float32))
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcast gradient back to the parent's shape."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad

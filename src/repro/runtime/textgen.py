@@ -1,0 +1,90 @@
+"""Character-level language-modelling utilities for the functional runtime.
+
+Small real-data helpers so the examples and tests can train on an actual
+task (not just random tokens): a character tokenizer, batch sampling,
+and greedy/temperature generation from a trained :class:`GPTModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import GPTModel
+from .tensor import no_grad
+
+
+class CharTokenizer:
+    """Bidirectional char <-> id mapping built from a corpus."""
+
+    def __init__(self, text: str) -> None:
+        if not text:
+            raise ValueError("tokenizer needs a non-empty corpus")
+        self.chars = sorted(set(text))
+        self.char_to_id = {ch: i for i, ch in enumerate(self.chars)}
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of distinct characters."""
+        return len(self.chars)
+
+    def encode(self, text: str) -> np.ndarray:
+        """Text -> int ids (raises on unknown characters)."""
+        try:
+            return np.array([self.char_to_id[ch] for ch in text], dtype=np.int64)
+        except KeyError as missing:
+            raise ValueError(f"character {missing} not in the vocabulary") from None
+
+    def decode(self, ids) -> str:
+        """Int ids -> text."""
+        return "".join(self.chars[int(i)] for i in ids)
+
+
+def sample_batches(
+    ids: np.ndarray,
+    seq_len: int,
+    batch_size: int,
+    n_batches: int,
+    rng: np.random.Generator,
+):
+    """Yield ``(inputs, targets)`` next-character batches from a corpus."""
+    if len(ids) <= seq_len + 1:
+        raise ValueError("corpus shorter than one training window")
+    for _batch in range(n_batches):
+        starts = rng.integers(0, len(ids) - seq_len - 1, size=batch_size)
+        inputs = np.stack([ids[s : s + seq_len] for s in starts])
+        targets = np.stack([ids[s + 1 : s + seq_len + 1] for s in starts])
+        yield inputs, targets
+
+
+def generate(
+    model: GPTModel,
+    tokenizer: CharTokenizer,
+    prompt: str,
+    max_new: int = 64,
+    temperature: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Autoregressive generation (greedy at temperature 0).
+
+    The context window is the model's ``pos_emb`` length; longer prompts
+    keep only the trailing window.
+    """
+    if temperature < 0:
+        raise ValueError("temperature cannot be negative")
+    window = model.pos_emb.shape[0]
+    ids = list(tokenizer.encode(prompt))
+    rng = rng or np.random.default_rng(0)
+    for _step in range(max_new):
+        context = np.array([ids[-window:]], dtype=np.int64)
+        with no_grad():
+            logits = model(context).data[0, -1]
+        if temperature == 0.0:
+            next_id = int(np.argmax(logits))
+        else:
+            scaled = logits / temperature
+            scaled -= scaled.max()
+            probs = np.exp(scaled)
+            probs /= probs.sum()
+            next_id = int(rng.choice(len(probs), p=probs))
+        ids.append(next_id)
+    return tokenizer.decode(ids)

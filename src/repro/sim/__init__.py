@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation hardware (consumer GPU + NVMe array + commodity
+CPUs) is replaced by this simulator: iteration engines are coroutine
+processes contending for :class:`~repro.sim.resources.RateChannel`
+resources, and the recorded :class:`~repro.sim.trace.Trace` yields the
+stage breakdowns and PCIe-utilization numbers the paper reports.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .export import trace_to_events, write_chrome_trace
+from .resources import ExclusiveResource, Machine, RateChannel, Semaphore
+from .trace import Trace, TraceInterval
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "ExclusiveResource",
+    "Machine",
+    "Process",
+    "RateChannel",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Semaphore",
+    "Trace",
+    "TraceInterval",
+    "trace_to_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,271 @@
+"""Contended resources: exclusive servers and rate channels.
+
+Two kinds cover everything the iteration engines need:
+
+* :class:`ExclusiveResource` — a FIFO mutex (e.g. the GPU compute queue
+  when a policy needs explicit request/release around irregular work).
+* :class:`RateChannel` — a FIFO store-and-forward pipe with a fixed rate:
+  a PCIe direction moving bytes, the SSD array moving bytes, the GPU
+  executing FLOPs, the CPU-Adam worker updating parameters.  One request
+  of size ``amount`` occupies the channel for ``amount / rate`` seconds.
+
+FIFO serialization (rather than processor sharing) matches how these
+devices behave: one DMA engine per PCIe direction, one io-submission
+stream per SSD group, one compute stream per GPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from .engine import Event, Simulator
+from .trace import Trace
+
+
+class ExclusiveResource:
+    """A FIFO mutex over the simulator.
+
+    Usage inside a process::
+
+        grant = resource.request()
+        yield grant
+        ...critical section...
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: deque[Event] = deque()
+        self._busy = False
+
+    def request(self) -> Event:
+        """An event that triggers when the caller holds the resource."""
+        grant = self.sim.event()
+        if not self._busy and not self._queue:
+            self._busy = True
+            grant.succeed()
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release the resource, granting the next waiter if any."""
+        if not self._busy:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._busy = False
+
+
+class Semaphore:
+    """A counting semaphore: bounds pipeline depth (prefetch windows).
+
+    ``acquire`` returns an event that triggers once a permit is held;
+    ``release`` returns one permit, waking the oldest waiter.
+    """
+
+    def __init__(self, sim: Simulator, permits: int) -> None:
+        if permits <= 0:
+            raise ValueError(f"semaphore needs positive permits, got {permits}")
+        self.sim = sim
+        self._permits = permits
+        self._waiters: deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Event that fires when a permit is granted (FIFO)."""
+        grant = self.sim.event()
+        if self._permits > 0 and not self._waiters:
+            self._permits -= 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one permit."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._permits += 1
+
+
+class RateChannel:
+    """A serialized constant-rate channel with trace recording.
+
+    ``use`` is a sub-generator: ``yield from channel.use(amount, label)``
+    inside a process blocks until the channel has served all earlier
+    requests and then for ``amount / rate`` seconds.
+    """
+
+    def __init__(self, sim: Simulator, name: str, rate: float, trace: Trace) -> None:
+        if rate <= 0:
+            raise ValueError(f"channel {name!r} needs a positive rate")
+        self.sim = sim
+        self.name = name
+        self.rate = rate
+        self.trace = trace
+        self._lock = ExclusiveResource(sim, name)
+        self.total_amount = 0.0
+        self.busy_time = 0.0
+
+    def service_time(self, amount: float, efficiency: float = 1.0) -> float:
+        """Seconds the channel needs for ``amount`` units.
+
+        ``efficiency`` < 1 models a client that cannot drive the channel
+        at line rate (e.g. DeepSpeed's aio engine on the SSD array); the
+        channel stays occupied for the longer duration.
+        """
+        if amount < 0:
+            raise ValueError(f"negative amount {amount} on {self.name!r}")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        return amount / (self.rate * efficiency)
+
+    def use(
+        self, amount: float, label: str = "", efficiency: float = 1.0
+    ) -> Generator[Event, Any, float]:
+        """Occupy the channel for ``amount`` units; returns completion time.
+
+        Zero-amount requests still respect FIFO ordering but take no time.
+        """
+        duration = self.service_time(amount, efficiency)
+        grant = self._lock.request()
+        yield grant
+        start = self.sim.now
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+        finally:
+            end = self.sim.now
+            self.trace.record(self.name, label, start, end, amount)
+            self.total_amount += amount
+            self.busy_time += end - start
+            self._lock.release()
+        return end
+
+    def spawn(self, amount: float, label: str = "") -> Event:
+        """Start ``use`` as an independent process; returns its event."""
+        return self.sim.process(self.use(amount, label))
+
+
+class Machine:
+    """The simulated server: channels for every contended resource.
+
+    Built from a :class:`repro.hardware.ServerSpec`.  Channels:
+
+    * ``gpu<i>``          — GPU compute, FLOP units.
+    * ``pcie_m2g<i>``     — host -> GPU PCIe direction, bytes.
+    * ``pcie_g2m<i>``     — GPU -> host PCIe direction, bytes.
+    * ``ssd``             — the (simplex) SSD array, bytes, shared by GPUs.
+    * ``cpu_adam``        — the out-of-core optimizer workers, parameter units.
+
+    The SSD array is a single channel because reads and writes share the
+    platform's lane budget (the paper treats SSD I/O "as a whole",
+    Eq. 2).  Its rate is direction-dependent, so requests pass an explicit
+    per-request rate through :meth:`ssd_read` / :meth:`ssd_write`.
+    """
+
+    def __init__(self, server: "ServerSpec") -> None:  # noqa: F821 (doc-only name)
+        from repro.hardware.spec import ServerSpec  # local import to avoid cycle
+
+        if not isinstance(server, ServerSpec):
+            raise TypeError(f"expected ServerSpec, got {type(server)!r}")
+        self.server = server
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.gpus = [
+            RateChannel(self.sim, f"gpu{i}", server.gpu.peak_fp16_flops, self.trace)
+            for i in range(server.n_gpus)
+        ]
+        self.pcie_m2g = [
+            RateChannel(
+                self.sim, f"pcie_m2g{i}", server.gpu_link.bandwidth_per_dir, self.trace
+            )
+            for i in range(server.n_gpus)
+        ]
+        self.pcie_g2m = [
+            RateChannel(
+                self.sim, f"pcie_g2m{i}", server.gpu_link.bandwidth_per_dir, self.trace
+            )
+            for i in range(server.n_gpus)
+        ]
+        self.cpu_adam = RateChannel(
+            self.sim, "cpu_adam", server.cpu.adam_params_per_s, self.trace
+        )
+        # The SSD array is one FIFO lane; per-request duration depends on
+        # direction, which `_SSDArray` handles.
+        self.ssd = _SSDArray(self.sim, server, self.trace)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def run(self) -> float:
+        """Run the event loop to completion; returns the end time."""
+        return self.sim.run()
+
+
+class _SSDArray:
+    """Simplex SSD array: one FIFO lane, direction-dependent rate."""
+
+    name = "ssd"
+
+    def __init__(self, sim: Simulator, server: "ServerSpec", trace: Trace) -> None:  # noqa: F821
+        self.sim = sim
+        self.trace = trace
+        self.read_bw = server.ssd_read_bw
+        self.write_bw = server.ssd_write_bw
+        self._lock = ExclusiveResource(sim, self.name)
+        self.total_read = 0.0
+        self.total_written = 0.0
+        self.busy_time = 0.0
+
+    def _use(
+        self, nbytes: float, rate: float, label: str, efficiency: float
+    ) -> Generator[Event, Any, float]:
+        if nbytes < 0:
+            raise ValueError(f"negative SSD transfer {nbytes}")
+        if rate <= 0:
+            raise RuntimeError("SSD transfer requested on a server with no SSDs")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        grant = self._lock.request()
+        yield grant
+        start = self.sim.now
+        try:
+            duration = nbytes / (rate * efficiency)
+            if duration > 0:
+                yield self.sim.timeout(duration)
+        finally:
+            end = self.sim.now
+            self.trace.record(self.name, label, start, end, nbytes)
+            self.busy_time += end - start
+            self._lock.release()
+        return end
+
+    def read(
+        self, nbytes: float, label: str = "ssd_read", efficiency: float = 1.0
+    ) -> Generator[Event, Any, float]:
+        """SSD -> main memory transfer (sub-generator)."""
+        self.total_read += nbytes
+        return self._use(nbytes, self.read_bw, label, efficiency)
+
+    def write(
+        self, nbytes: float, label: str = "ssd_write", efficiency: float = 1.0
+    ) -> Generator[Event, Any, float]:
+        """Main memory -> SSD transfer (sub-generator)."""
+        self.total_written += nbytes
+        return self._use(nbytes, self.write_bw, label, efficiency)
+
+    def spawn_read(self, nbytes: float, label: str = "ssd_read") -> Event:
+        """Start a read as an independent process."""
+        return self.sim.process(self.read(nbytes, label))
+
+    def spawn_write(self, nbytes: float, label: str = "ssd_write") -> Event:
+        """Start a write as an independent process."""
+        return self.sim.process(self.write(nbytes, label))

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import EVALUATION_SERVER, GiB, evaluation_server
+from repro.models import llm, profile_model
+
+
+@pytest.fixture
+def server():
+    """The paper's evaluation server (4090, 768 GB, 12 SSDs)."""
+    return EVALUATION_SERVER
+
+
+@pytest.fixture
+def server_256gb():
+    """The headline configuration: 256 GB of main memory."""
+    return evaluation_server(main_memory_bytes=256 * GiB)
+
+
+@pytest.fixture
+def profile_13b_bs32():
+    """The paper's workhorse workload: 13B model at batch 32."""
+    return profile_model(llm("13B"), 32)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator for runtime tests."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,77 @@
+"""Tests for the design-choice ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestPrefetchDepth:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_prefetch_depth(batches=(32,))
+
+    def test_deeper_prefetch_never_slower(self, result):
+        times = result.column("bsz=32")
+        for shallow, deep in zip(times, times[1:]):
+            assert deep <= shallow + 1e-9
+
+    def test_depth_one_pays_a_real_penalty(self, result):
+        times = result.column("bsz=32")
+        assert times[0] > 1.2 * times[-1]
+
+    def test_returns_diminish(self, result):
+        times = result.column("bsz=32")
+        assert times[2] == pytest.approx(times[-1], rel=0.05)  # depth 3 ~ depth 6
+
+
+class TestSSDEfficiency:
+    def test_throughput_monotone_in_efficiency(self):
+        result = ablations.run_ssd_efficiency()
+        throughput = result.column("token/s")
+        assert throughput == sorted(throughput)
+
+    def test_full_rate_engine_near_doubles_70b(self):
+        result = ablations.run_ssd_efficiency()
+        throughput = result.column("token/s")
+        assert throughput[-1] > 1.6 * throughput[0]  # 1.0 vs 0.4 efficiency
+
+
+class TestOptimizerWindow:
+    def test_bigger_window_never_grows_max_size(self):
+        result = ablations.run_optimizer_window()
+        sizes = result.column("max_size_B")
+        for small, large in zip(sizes, sizes[1:]):
+            assert large <= small + 1e-9
+
+    def test_window_memory_grows_linearly(self):
+        result = ablations.run_optimizer_window()
+        windows = result.column("window_blocks")
+        use = result.column("window_use_at_175B_GB")
+        # Slopes between consecutive points must match (affine in window).
+        slopes = [
+            (use[i + 1] - use[i]) / (windows[i + 1] - windows[i])
+            for i in range(len(use) - 1)
+        ]
+        assert max(slopes) == pytest.approx(min(slopes), rel=1e-6)
+
+
+class TestOccupancyModel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_occupancy_model()
+
+    def test_flat_peak_is_batch_independent(self, result):
+        flat = result.column("flat peak")
+        assert max(flat) == pytest.approx(min(flat), rel=0.01)
+
+    def test_occupancy_discounts_small_batches(self, result):
+        with_occ = result.column("with occupancy")
+        flat = result.column("flat peak")
+        occ = result.column("occupancy")
+        for achieved, peak, fraction in zip(with_occ, flat, occ):
+            assert achieved == pytest.approx(peak * fraction, rel=0.02)
+
+    def test_all_run(self):
+        assert len(ablations.run()) == 4

@@ -1,0 +1,114 @@
+"""Tests for the Fig.-4 user API and the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentResult, cost_effectiveness
+from repro.hardware import DGX_A100, evaluation_server
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelAPIError,
+    RatelOptimizer,
+    current_context,
+    ratel_hook,
+    ratel_init,
+)
+
+GB = 1e9
+
+
+class TestRatelInit:
+    def test_context_available_inside(self):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            assert current_context() is ctx
+
+    def test_no_context_outside(self):
+        with pytest.raises(RatelAPIError):
+            current_context()
+
+    def test_nesting(self):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as outer:
+            with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as inner:
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_spill_dir_cleaned_up(self):
+        import os
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            spill_dir = ctx.manager.spill_dir
+            assert os.path.isdir(spill_dir)
+        assert not os.path.isdir(spill_dir)
+
+
+class TestFig4Workflow:
+    def test_full_loop_runs_and_learns(self, rng):
+        loss_fn = CrossEntropyLoss()
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(23, 16, 2, 2, 8, rng)
+            runtime = ratel_hook(model)
+            optimizer = RatelOptimizer(model, runtime, lr=1e-2)
+            ids = rng.integers(0, 23, size=(2, 8))
+            targets = np.roll(ids, -1, axis=1)
+            losses = [
+                runtime.train_step(lambda: loss_fn(model(ids), targets))
+                for _step in range(4)
+            ]
+            optimizer.step()  # the paper's no-op
+            assert losses[-1] < losses[0]
+
+    def test_hook_requires_context(self, rng):
+        model = GPTModel(23, 16, 1, 2, 8, rng)
+        with pytest.raises(RatelAPIError):
+            ratel_hook(model)
+
+    def test_optimizer_requires_matching_runtime(self, rng):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB):
+            model_a = GPTModel(23, 16, 1, 2, 8, rng)
+            model_b = GPTModel(23, 16, 1, 2, 8, rng)
+            runtime_a = ratel_hook(model_a)
+            with pytest.raises(RatelAPIError):
+                RatelOptimizer(model_b, runtime_a)
+
+
+class TestCostAnalysis:
+    def test_tokens_per_kusd(self):
+        point = cost_effectiveness("Megatron-LM", DGX_A100, 4000.0)
+        assert point.price_usd == pytest.approx(200_000.0)
+        assert point.tokens_per_s_per_kusd == pytest.approx(20.0)
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(ValueError):
+            cost_effectiveness("x", DGX_A100, -1.0)
+
+    def test_ratel_server_pricing(self):
+        server = evaluation_server(n_gpus=4, n_ssds=6)
+        point = cost_effectiveness("Ratel", server, 1000.0)
+        assert point.price_usd == pytest.approx(14098 + 4 * 1600 + 6 * 308)
+
+
+class TestExperimentResult:
+    def test_row_length_validated(self):
+        result = ExperimentResult("t", "title", ["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult("t", "title", ["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+
+    def test_render_formats_failures_as_dash(self):
+        result = ExperimentResult("t", "title", ["a"])
+        result.add_row(float("nan"))
+        assert "-" in result.render()
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("t", "title", ["a"])
+        result.add_row(1.0)
+        result.note("hello")
+        assert "note: hello" in result.render()

@@ -1,0 +1,93 @@
+"""Tests for the capacity planner (max model size / max batch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FlashNeuronPolicy, ZeroInfinityPolicy, ZeroOffloadPolicy
+from repro.core import (
+    RatelPolicy,
+    check_feasible,
+    max_batch_size,
+    max_trainable_params,
+)
+from repro.hardware import GiB, evaluation_server
+from repro.models import llm, profile_model
+
+
+class TestFeasibilityReport:
+    def test_feasible_has_no_shortfalls(self, server):
+        report = check_feasible(RatelPolicy(), profile_model(llm("13B"), 32), server)
+        assert report.feasible
+        assert report.shortfalls == {}
+
+    def test_infeasible_names_the_tier(self, server):
+        report = check_feasible(FlashNeuronPolicy(), profile_model(llm("13B"), 1), server)
+        assert not report.feasible
+        assert "gpu" in report.shortfalls
+
+    def test_unsupported_hardware_flagged(self):
+        bare = evaluation_server(n_ssds=0)
+        report = check_feasible(RatelPolicy(), profile_model(llm("6B"), 1), bare)
+        assert not report.feasible
+        assert "hardware" in report.shortfalls
+
+
+class TestMaxTrainableParams:
+    def test_fig6_anchor_points(self, server):
+        """The Fig. 6 frontier at 768 GB: Ratel >> ZeRO-Infinity >> Offload."""
+        ratel = max_trainable_params(RatelPolicy(), server)
+        zero_inf = max_trainable_params(ZeroInfinityPolicy(), server)
+        zero_off = max_trainable_params(ZeroOffloadPolicy(), server)
+        assert ratel >= 276e9
+        assert 100e9 < zero_inf < 200e9  # paper: 135B
+        assert 30e9 < zero_off < 70e9  # paper: ~40B
+        assert ratel > 1.8 * zero_inf  # paper: 2.04x
+
+    def test_flashneuron_frontier_is_tiny(self, server):
+        """Paper: FlashNeuron tops out around 1.55B."""
+        assert max_trainable_params(FlashNeuronPolicy(), server) == pytest.approx(
+            1.55e9, rel=0.25
+        )
+
+    def test_monotone_in_main_memory(self):
+        sizes = []
+        for mem_gb in (128, 256, 512, 768):
+            server = evaluation_server(main_memory_bytes=mem_gb * GiB)
+            sizes.append(max_trainable_params(RatelPolicy(), server))
+        assert sizes == sorted(sizes)
+
+    def test_monotone_in_batch(self, server):
+        big = max_trainable_params(RatelPolicy(), server, batch_size=1)
+        small = max_trainable_params(RatelPolicy(), server, batch_size=64)
+        assert small <= big
+
+    def test_returns_zero_when_nothing_fits(self):
+        bare = evaluation_server(n_ssds=0)
+        assert max_trainable_params(RatelPolicy(), bare) == 0.0
+
+    def test_result_is_actually_feasible(self, server):
+        from repro.models import synthetic_llm
+
+        best = max_trainable_params(RatelPolicy(), server)
+        config = synthetic_llm(best)
+        assert RatelPolicy().feasible(profile_model(config, 1), server)
+
+
+class TestMaxBatchSize:
+    def test_respects_cap(self, server):
+        batch = max_batch_size(RatelPolicy(), llm("13B"), server, cap=32)
+        assert batch == 32
+
+    def test_shrinks_with_model_size(self, server):
+        small = max_batch_size(RatelPolicy(), llm("13B"), server)
+        large = max_batch_size(RatelPolicy(), llm("175B"), server)
+        assert large < small
+
+    def test_zero_when_infeasible(self, server):
+        assert max_batch_size(FlashNeuronPolicy(), llm("13B"), server) == 0
+
+    def test_result_is_feasible_and_next_is_not(self, server):
+        batch = max_batch_size(RatelPolicy(), llm("175B"), server)
+        assert batch > 0
+        assert RatelPolicy().feasible(profile_model(llm("175B"), batch), server)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface and the trace exporter."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+from repro.sim import trace_to_events, write_chrome_trace
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestPlanCommand:
+    def test_feasible_plan(self):
+        code, text = run_cli("plan", "13B", "32")
+        assert code == 0
+        assert "token/s" in text
+        assert "case" in text
+
+    def test_infeasible_reports_shortfall(self):
+        code, text = run_cli("plan", "412B", "1", "--memory-gb", "128")
+        assert code == 1
+        assert "does NOT fit" in text
+
+    def test_gpu_selection(self):
+        code, text = run_cli("plan", "13B", "8", "--gpu", "3090")
+        assert code == 0
+        assert "RTX 3090" in text
+
+
+class TestMaxsizeCommand:
+    def test_lists_all_systems(self):
+        code, text = run_cli("maxsize", "--memory-gb", "256")
+        assert code == 0
+        for name in ("FlashNeuron", "ZeRO-Infinity", "ZeRO-Offload", "Ratel"):
+            assert name in text
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self):
+        code, text = run_cli("experiments", "fig1")
+        assert code == 0
+        assert "fig1" in text
+        assert "ZeRO-Infinity" in text
+
+    def test_unknown_id_fails_with_hint(self):
+        code, text = run_cli("experiments", "fig99")
+        assert code == 1
+        assert "known ids" in text
+
+
+class TestTraceCommand:
+    def test_writes_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, text = run_cli("trace", "13B", "8", "-o", path)
+        assert code == 0
+        payload = json.load(open(path))
+        assert len(payload["traceEvents"]) > 100
+
+
+class TestTraceExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return RatelPolicy().simulate(profile_model(llm("13B"), 8), evaluation_server())
+
+    def test_events_cover_all_resources(self, result):
+        events = trace_to_events(result.trace)
+        categories = {e.get("cat") for e in events if e.get("ph") == "X"}
+        assert {"gpu0", "pcie_m2g0", "pcie_g2m0", "ssd", "cpu_adam"} <= categories
+
+    def test_durations_in_microseconds(self, result):
+        events = [e for e in trace_to_events(result.trace) if e.get("ph") == "X"]
+        total_gpu_us = sum(e["dur"] for e in events if e.get("cat") == "gpu0")
+        assert total_gpu_us == pytest.approx(
+            result.trace.busy_time("gpu0") * 1e6, rel=1e-6
+        )
+
+    def test_stage_markers_included(self, result, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(result.trace, path, stage_windows=result.stage_windows)
+        payload = json.load(open(path))
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "forward" in names and "backward" in names

@@ -1,0 +1,13 @@
+"""Run the doctest examples embedded in docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro.hardware.units as units
+
+
+def test_units_doctests():
+    result = doctest.testmod(units)
+    assert result.attempted > 0
+    assert result.failed == 0

@@ -1,0 +1,135 @@
+"""Property-based tests of the discrete-event engine.
+
+Whatever schedule the policies compile — any activation split, optimizer
+mode or efficiency — the engine must conserve work, respect resource
+rates (time lower bounds), and keep stage windows ordered.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OptimizerMode, StatesLocation, build_blocks, run_iteration
+from repro.core.schedule import IterationSchedule
+from repro.hardware import GB, evaluation_server
+from repro.models import llm, profile_model
+
+SERVER = evaluation_server()
+
+MODES = st.sampled_from(
+    [
+        OptimizerMode.ACTIVE_OPTIMIZED,
+        OptimizerMode.ACTIVE_NAIVE,
+        OptimizerMode.DEFERRED_CPU,
+        OptimizerMode.DEFERRED_CPU_SERIAL,
+        OptimizerMode.DEFERRED_GPU,
+    ]
+)
+
+
+def build_schedule(batch, act_main_gb, act_ssd_gb, recompute_fraction, mode, depth, eff):
+    profile = profile_model(llm("6B"), batch)
+    act_main = min(act_main_gb * GB, 0.6 * profile.activation_bytes_total)
+    act_ssd = min(act_ssd_gb * GB, 0.4 * profile.activation_bytes_total)
+    recompute = recompute_fraction * profile.recompute_flops_for(0.0)
+    blocks = build_blocks(
+        profile,
+        act_to_main_total=act_main,
+        act_to_ssd_total=act_ssd,
+        recompute_flops_total=recompute,
+    )
+    return IterationSchedule(
+        name="property",
+        model=profile,
+        blocks=blocks,
+        states_location=StatesLocation.SSD,
+        optimizer_mode=mode,
+        prefetch_depth=depth,
+        ssd_efficiency=eff,
+    )
+
+
+@given(
+    batch=st.sampled_from([1, 4, 16]),
+    act_main_gb=st.floats(min_value=0, max_value=50),
+    act_ssd_gb=st.floats(min_value=0, max_value=50),
+    recompute_fraction=st.floats(min_value=0, max_value=1),
+    mode=MODES,
+    depth=st.integers(min_value=1, max_value=4),
+    eff=st.floats(min_value=0.3, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_engine_invariants(batch, act_main_gb, act_ssd_gb, recompute_fraction, mode, depth, eff):
+    schedule = build_schedule(
+        batch, act_main_gb, act_ssd_gb, recompute_fraction, mode, depth, eff
+    )
+    result = run_iteration(SERVER, schedule)
+    profile = schedule.model
+    trace = result.trace
+
+    # 1. GPU work conservation (forward + backward + recompute [+ GPU Adam]).
+    gpu_work = trace.moved("gpu0")
+    base = profile.forward_flops + profile.backward_flops + schedule.total_recompute_flops
+    assert gpu_work >= base * (1 - 1e-9)
+    assert gpu_work <= base * 1.05 + 2 * profile.n_params  # GPU-Adam slack
+
+    # 2. Activation traffic symmetry: everything swapped out comes back.
+    out = trace.moved("pcie_g2m0", label_prefix="act_out")
+    back = trace.moved("pcie_m2g0", label_prefix="act_back")
+    assert out == pytest.approx(schedule.total_swapped, rel=1e-9, abs=1.0)
+    assert back == pytest.approx(out, rel=1e-9, abs=1.0)
+
+    # 3. SSD spill symmetry.
+    spill_out = trace.moved("ssd", label_prefix="act_spill")
+    spill_back = trace.moved("ssd", label_prefix="act_back_ssd")
+    assert spill_out == pytest.approx(
+        sum(block.act_to_ssd for block in schedule.blocks), rel=1e-9, abs=1.0
+    )
+    assert spill_back == pytest.approx(spill_out, rel=1e-9, abs=1.0)
+
+    # 4. Time lower bounds: no resource can beat its own rate.
+    assert result.iteration_time >= gpu_work / SERVER.gpu.peak_fp16_flops * (1 - 1e-9)
+    ssd_moved = trace.moved("ssd")
+    assert result.iteration_time >= ssd_moved / (32 * GB) * (1 - 1e-6)
+
+    # 5. Stage windows: ordered, contiguous, covering the run.
+    fwd = result.stage_windows["forward"]
+    bwd = result.stage_windows["backward"]
+    assert fwd[0] == 0.0 and fwd[1] <= bwd[0] + 1e-12
+    assert result.iteration_time == pytest.approx(
+        max(end for _s, end in result.stage_windows.values())
+    )
+
+    # 6. Optimizer updates every parameter exactly once.
+    assert trace.moved("cpu_adam") == pytest.approx(
+        profile.n_params if mode not in (OptimizerMode.DEFERRED_GPU,) else 0.0,
+        rel=1e-9,
+        abs=1.0,
+    )
+
+
+@given(
+    mode=MODES,
+    eff=st.floats(min_value=0.3, max_value=1.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_lower_efficiency_never_faster(mode, eff):
+    fast = build_schedule(4, 5, 5, 0.5, mode, 2, 1.0)
+    slow = build_schedule(4, 5, 5, 0.5, mode, 2, eff)
+    t_fast = run_iteration(SERVER, fast).iteration_time
+    t_slow = run_iteration(SERVER, slow).iteration_time
+    assert t_slow >= t_fast * (1 - 1e-9)
+
+
+@given(batch=st.sampled_from([1, 2, 8, 32]))
+@settings(max_examples=8, deadline=None)
+def test_iteration_time_scales_with_batch(batch):
+    """Bigger batches take longer per iteration but fewer per token."""
+    small = build_schedule(1, 2, 0, 0.3, OptimizerMode.ACTIVE_OPTIMIZED, 3, 1.0)
+    big = build_schedule(batch, 2, 0, 0.3, OptimizerMode.ACTIVE_OPTIMIZED, 3, 1.0)
+    t_small = run_iteration(SERVER, small)
+    t_big = run_iteration(SERVER, big)
+    assert t_big.iteration_time >= t_small.iteration_time * (1 - 1e-9)
+    if batch > 1:
+        assert t_big.tokens_per_s >= t_small.tokens_per_s * (1 - 1e-9)

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process (``runpy``) with small arguments so
+the whole set stays fast; stdout is captured and checked for the
+signature lines that prove the script did its job.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, *argv: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    buffer = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "bit-identical" in out
+        assert "real data movement" in out
+
+    def test_plan_175b(self):
+        out = run_example("plan_175b_on_4090", "13B", "8")
+        assert "Ratel's holistic activation plan" in out
+        assert "token/s" in out
+
+    def test_activation_sweep(self):
+        out = run_example("activation_sweep", "13B", "32", "256")
+        assert "Algorithm 1 chose" in out
+
+    def test_train_char_lm(self):
+        out = run_example("train_char_lm", "30")
+        assert "greedy samples" in out
+        assert "total data moved" in out
+
+    def test_hardware_sensitivity(self):
+        out = run_example("hardware_sensitivity", "13B", "8")
+        assert "number of SSDs" in out
+        assert "baseline" in out
+
+    @pytest.mark.slow
+    def test_diffusion_finetune(self):
+        out = run_example("diffusion_finetune")
+        assert "OOM" in out
+        assert "Ratel's plan for the 40B DiT" in out
+
+    @pytest.mark.slow
+    def test_cost_advisor(self):
+        out = run_example("cost_advisor", "13B", "16")
+        assert "best value" in out
+
+    @pytest.mark.slow
+    def test_production_loop(self):
+        out = run_example("production_loop")
+        assert "simulated crash" in out
+        assert "resumed from step 16" in out
+        assert "done:" in out

@@ -1,0 +1,30 @@
+"""Tests for the sequence-length extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_seq_len
+
+
+class TestSeqLenSweep:
+    def test_runs_all_lengths(self):
+        result = ext_seq_len.run()
+        assert [row[0] for row in result.rows] == [512, 1024, 2048, 4096]
+
+    def test_token_budget_held_constant(self):
+        result = ext_seq_len.run()
+        for row in result.rows:
+            assert row[0] * row[1] == 32768
+
+    def test_longer_sequences_swap_more(self):
+        """The quadratic attention term raises offloading benefits with s."""
+        result = ext_seq_len.run()
+        swapped = result.column("A*_GB")
+        assert swapped == sorted(swapped)
+
+    def test_throughput_declines_gently_with_seq(self):
+        """Quadratic attention costs tokens/s, but only a few percent per
+        doubling at these lengths."""
+        result = ext_seq_len.run()
+        tput = result.column("token/s")
+        assert tput == sorted(tput, reverse=True)
+        assert tput[-1] > 0.8 * tput[0]

@@ -1,0 +1,189 @@
+"""Tests for the hardware catalog: specs, presets, derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import (
+    DGX_A100,
+    EVALUATION_SERVER,
+    GB,
+    GiB,
+    HardwareError,
+    INTEL_P5510,
+    PCIE_GEN4_X16_MEASURED,
+    RTX_3090,
+    RTX_4080,
+    RTX_4090,
+    TB,
+    TFLOPS,
+    evaluation_server,
+    fmt_bytes,
+    fmt_flops,
+    fmt_rate,
+    fmt_time,
+    gpu_occupancy,
+)
+from repro.hardware.spec import CPUSpec, GPUSpec, PCIeLinkSpec, SSDSpec, ServerSpec
+
+
+class TestUnits:
+    def test_si_prefixes(self):
+        assert GB == 10**9
+        assert TB == 10**12
+        assert GiB == 2**30
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(34 * GB) == "34.00 GB"
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2.5 * TB) == "2.50 TB"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(21 * GB) == "21.00 GB/s"
+
+    def test_fmt_flops(self):
+        assert fmt_flops(165 * TFLOPS) == "165.00 TFLOP"
+
+    def test_fmt_time(self):
+        assert fmt_time(23.0) == "23.00 s"
+        assert fmt_time(0.0042) == "4.20 ms"
+        assert fmt_time(5e-6) == "5.00 us"
+
+
+class TestGPUSpec:
+    def test_usable_memory_subtracts_reserve(self):
+        assert RTX_4090.usable_memory_bytes == RTX_4090.memory_bytes - RTX_4090.reserved_bytes
+
+    def test_paper_gpu_lineup(self):
+        assert RTX_4090.memory_bytes == 24 * GiB
+        assert RTX_4080.memory_bytes == 16 * GiB
+        assert RTX_3090.memory_bytes == 24 * GiB
+        assert RTX_4090.price_usd == 1600.0
+
+    def test_consumer_gpus_lack_gpudirect(self):
+        assert not RTX_4090.supports_gpudirect
+        assert not RTX_4080.supports_gpudirect
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(HardwareError):
+            GPUSpec("bad", 0, 1.0, 1.0)
+
+    def test_rejects_reserve_exceeding_memory(self):
+        with pytest.raises(HardwareError):
+            GPUSpec("bad", 1 * GB, 1.0, 1.0, reserved_bytes=2 * GB)
+
+
+class TestOccupancy:
+    def test_half_peak_at_saturation_point(self):
+        assert gpu_occupancy(4096, 4096) == pytest.approx(0.5)
+
+    def test_batch32_seq1024_near_saturated(self):
+        occ = gpu_occupancy(32 * 1024, RTX_4090.saturation_tokens)
+        assert 0.85 < occ < 0.95
+
+    def test_monotone_in_tokens(self):
+        values = [gpu_occupancy(t, 4096) for t in (1024, 4096, 16384, 65536)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+    def test_rejects_zero_tokens(self):
+        with pytest.raises(HardwareError):
+            gpu_occupancy(0, 4096)
+
+    @given(st.floats(min_value=1, max_value=1e7))
+    def test_bounded_by_one(self, tokens):
+        assert 0 < gpu_occupancy(tokens, 4096) < 1
+
+
+class TestSSDArray:
+    def test_single_ssd_rates(self):
+        server = evaluation_server(n_ssds=1)
+        assert server.ssd_read_bw == pytest.approx(6.2 * GB)
+        assert server.ssd_write_bw == pytest.approx(3.5 * GB)
+
+    def test_platform_cap_binds_at_twelve(self):
+        server = evaluation_server(n_ssds=12)
+        assert server.ssd_read_bw == pytest.approx(32 * GB)  # 74.4 capped
+        assert server.ssd_write_bw == pytest.approx(32 * GB)  # 42 capped
+
+    def test_write_bw_scales_before_cap(self):
+        server = evaluation_server(n_ssds=6)
+        assert server.ssd_write_bw == pytest.approx(21 * GB)
+
+    def test_capacity_scales_linearly(self):
+        assert evaluation_server(n_ssds=12).ssd_capacity_bytes == pytest.approx(
+            12 * 3.84 * TB
+        )
+
+    def test_zero_ssds_means_zero_bandwidth(self):
+        server = evaluation_server(n_ssds=0)
+        assert server.ssd_read_bw == 0.0
+        assert server.ssd_write_bw == 0.0
+
+
+class TestServerSpec:
+    def test_evaluation_server_matches_table_iii(self, server):
+        assert server.gpu is RTX_4090
+        assert server.main_memory_bytes == 768 * GiB
+        assert server.n_ssds == 12
+        assert server.cpu.total_cores == 52
+
+    def test_price_follows_table_vii(self):
+        server = evaluation_server(n_gpus=4, n_ssds=12)
+        expected = 14098 + 4 * 1600 + 12 * 308
+        assert server.price_usd == pytest.approx(expected)
+
+    def test_dgx_price_is_200k(self):
+        assert DGX_A100.price_usd == pytest.approx(200_000.0)
+
+    def test_with_main_memory_returns_copy(self, server):
+        smaller = server.with_main_memory(128 * GiB)
+        assert smaller.main_memory_bytes == 128 * GiB
+        assert server.main_memory_bytes == 768 * GiB
+
+    def test_with_gpu_swaps_device(self, server):
+        swapped = server.with_gpu(RTX_4080)
+        assert swapped.gpu is RTX_4080
+        assert swapped.n_gpus == server.n_gpus
+
+    def test_usable_main_memory_subtracts_reserve(self, server):
+        assert server.usable_main_memory_bytes == (
+            server.main_memory_bytes - server.host_reserved_bytes
+        )
+
+    def test_rejects_memory_below_reserve(self):
+        with pytest.raises(HardwareError):
+            evaluation_server(main_memory_bytes=1 * GB)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(HardwareError):
+            ServerSpec(
+                name="bad",
+                gpu=RTX_4090,
+                n_gpus=0,
+                cpu=EVALUATION_SERVER.cpu,
+                main_memory_bytes=128 * GiB,
+                ssd=INTEL_P5510,
+                n_ssds=1,
+                gpu_link=PCIE_GEN4_X16_MEASURED,
+                ssd_platform_bw_cap=32 * GB,
+            )
+
+
+class TestComponentValidation:
+    def test_cpu_adam_time(self):
+        cpu = CPUSpec("c", 1, 8, 1e9, 100 * GB)
+        assert cpu.adam_time(13e9) == pytest.approx(13.0)
+
+    def test_cpu_rejects_bad_counts(self):
+        with pytest.raises(HardwareError):
+            CPUSpec("c", 0, 8, 1e9, 100 * GB)
+
+    def test_ssd_rejects_bad_bandwidth(self):
+        with pytest.raises(HardwareError):
+            SSDSpec("s", 1 * TB, 0, 1 * GB, 100.0)
+
+    def test_link_rejects_zero_bandwidth(self):
+        with pytest.raises(HardwareError):
+            PCIeLinkSpec("l", 0)

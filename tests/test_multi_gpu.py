@@ -1,0 +1,148 @@
+"""Tests for data-parallel multi-GPU execution (paper §V-G)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.core.memory_model import InfeasibleError
+from repro.core.multi_gpu import max_global_batch, per_gpu_view, run_data_parallel
+from repro.hardware import GiB, evaluation_server
+from repro.models import llm
+
+
+class TestPerGPUView:
+    def test_single_gpu_view_is_identity(self, server):
+        assert per_gpu_view(server) is server
+
+    def test_view_splits_host_resources(self):
+        server = evaluation_server(n_gpus=4)
+        view = per_gpu_view(server)
+        assert view.n_gpus == 1
+        assert view.main_memory_bytes == pytest.approx(server.main_memory_bytes / 4)
+        assert view.ssd_platform_bw_cap == pytest.approx(server.ssd_platform_bw_cap / 4)
+
+
+class TestDataParallel:
+    def test_throughput_scales_with_gpus(self):
+        config = llm("13B")
+        results = {}
+        for n in (1, 2, 4):
+            server = evaluation_server(n_gpus=n)
+            results[n] = run_data_parallel(RatelPolicy(), config, 32 * n, server).tokens_per_s
+        assert results[2] > 1.4 * results[1]
+        assert results[4] > 1.2 * results[2]
+
+    def test_no_superlinear_scaling(self):
+        """Shared SSD/CPU resources bound the speedup at (near) ideal."""
+        config = llm("70B")
+        single = run_data_parallel(
+            RatelPolicy(), config, 8, evaluation_server(n_gpus=1)
+        ).tokens_per_s
+        quad = run_data_parallel(
+            RatelPolicy(), config, 32, evaluation_server(n_gpus=4)
+        ).tokens_per_s
+        assert quad < 4.1 * single
+
+    def test_contended_scaling_is_sublinear(self):
+        """At large per-GPU batches the shared host visibly throttles."""
+        config = llm("13B")
+        single = run_data_parallel(
+            RatelPolicy(), config, 64, evaluation_server(n_gpus=1)
+        ).tokens_per_s
+        quad = run_data_parallel(
+            RatelPolicy(), config, 256, evaluation_server(n_gpus=4)
+        ).tokens_per_s
+        assert quad < 3.9 * single
+
+    def test_fig11_ratel_beats_zero_infinity(self):
+        """Paper: 2.21x (13B) on 4 GPUs at a shared global batch."""
+        server = evaluation_server(n_gpus=4)
+        config = llm("13B")
+        ratel = run_data_parallel(RatelPolicy(), config, 128, server).tokens_per_s
+        zero = run_data_parallel(ZeroInfinityPolicy(), config, 128, server).tokens_per_s
+        assert ratel > 2.0 * zero
+
+    def test_indivisible_batch_rejected(self):
+        server = evaluation_server(n_gpus=4)
+        with pytest.raises(ValueError):
+            run_data_parallel(RatelPolicy(), llm("13B"), 30, server)
+
+    def test_infeasible_workload_raises(self):
+        server = evaluation_server(n_gpus=4, main_memory_bytes=128 * GiB)
+        with pytest.raises(InfeasibleError):
+            run_data_parallel(ZeroInfinityPolicy(), llm("175B"), 32, server)
+
+    def test_tokens_accounting(self):
+        server = evaluation_server(n_gpus=2)
+        result = run_data_parallel(RatelPolicy(), llm("13B"), 64, server)
+        assert result.tokens_per_iteration == 64 * 1024
+        assert result.tokens_per_s == pytest.approx(
+            result.tokens_per_iteration / result.iteration_time
+        )
+
+    def test_optimizer_runs_once_not_per_gpu(self):
+        """cpu_adam must process P params total, not n_gpus * P."""
+        server = evaluation_server(n_gpus=4)
+        config = llm("13B")
+        result = run_data_parallel(RatelPolicy(), config, 128, server)
+        from repro.models import profile_model
+
+        n_params = profile_model(config, 1).n_params
+        updated = result.trace.moved("cpu_adam")
+        assert updated == pytest.approx(n_params, rel=1e-6)
+
+    def test_every_gpu_does_compute(self):
+        server = evaluation_server(n_gpus=4)
+        result = run_data_parallel(RatelPolicy(), llm("13B"), 128, server)
+        for i in range(4):
+            assert result.trace.busy_time(f"gpu{i}") > 0
+
+
+class TestConservationProperties:
+    def test_gradient_traffic_scales_with_gpu_count(self):
+        """Each data-parallel worker offloads a full G16 copy."""
+        from repro.models import profile_model
+
+        config = llm("13B")
+        n_params = profile_model(config, 1).n_params
+        for n in (2, 4):
+            server = evaluation_server(n_gpus=n)
+            result = run_data_parallel(RatelPolicy(), config, 32 * n, server)
+            total_grads = sum(
+                result.trace.moved(f"pcie_g2m{i}", label_prefix="grad") for i in range(n)
+            )
+            assert total_grads == pytest.approx(n * 2 * n_params, rel=1e-6)
+
+    def test_state_reads_not_duplicated(self):
+        """Only worker 0 reads P16 from SSD; others hit the page cache."""
+        config = llm("13B")
+        server = evaluation_server(n_gpus=4)
+        result = run_data_parallel(RatelPolicy(), config, 128, server)
+        from repro.models import profile_model
+
+        p16 = profile_model(config, 1).states.p16
+        ssd_p16_reads = result.trace.moved("ssd", label_prefix="fwd_p16") + result.trace.moved(
+            "ssd", label_prefix="bwd_p16"
+        )
+        # One forward + one backward pass of P16 reads, not four.
+        assert ssd_p16_reads == pytest.approx(2 * p16, rel=1e-6)
+
+    def test_gpu_work_identical_across_workers(self):
+        server = evaluation_server(n_gpus=4)
+        result = run_data_parallel(RatelPolicy(), llm("13B"), 128, server)
+        work = [result.trace.moved(f"gpu{i}") for i in range(4)]
+        assert max(work) == pytest.approx(min(work), rel=1e-9)
+
+
+class TestMaxGlobalBatch:
+    def test_multiple_of_gpu_count(self):
+        server = evaluation_server(n_gpus=4)
+        batch = max_global_batch(RatelPolicy(), llm("13B"), server)
+        assert batch > 0
+        assert batch % 4 == 0
+
+    def test_zero_when_nothing_fits(self):
+        server = evaluation_server(n_gpus=4, main_memory_bytes=128 * GiB)
+        assert max_global_batch(ZeroInfinityPolicy(), llm("175B"), server) == 0

@@ -1,0 +1,244 @@
+"""Tests for Ratel and the baseline policies: the paper's headline claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CapuchinPolicy,
+    CheckmatePolicy,
+    ColossalAIPolicy,
+    FastDiTPolicy,
+    FlashNeuronPolicy,
+    G10ActivationPolicy,
+    G10Policy,
+    MegatronPolicy,
+    ZeroInfinityPolicy,
+    ZeroOffloadPolicy,
+)
+from repro.core import RatelPolicy
+from repro.core.memory_model import InfeasibleError
+from repro.hardware import DGX_A100, GiB, RTX_4080, evaluation_server
+from repro.models import dit, llm, profile_model
+
+ALL_OFFLOADERS = [
+    RatelPolicy(),
+    ZeroInfinityPolicy(),
+    ZeroOffloadPolicy(),
+    ColossalAIPolicy(),
+    FlashNeuronPolicy(),
+]
+
+
+class TestHeadlineClaims:
+    """The abstract's three numbered results, as assertions."""
+
+    def test_ratel_trains_175b_on_4090_with_256gb(self):
+        """Claim 1: first to fine-tune 175B on an RTX 4090 + 256 GB DRAM."""
+        server = evaluation_server(main_memory_bytes=256 * GiB)
+        profile = profile_model(llm("175B"), 1)
+        assert RatelPolicy().feasible(profile, server)
+
+    def test_baselines_cannot_train_175b_on_256gb(self):
+        server = evaluation_server(main_memory_bytes=256 * GiB)
+        profile = profile_model(llm("175B"), 1)
+        for policy in (ZeroInfinityPolicy(), ZeroOffloadPolicy(), ColossalAIPolicy(),
+                       FlashNeuronPolicy()):
+            assert not policy.feasible(profile, server), policy.name
+
+    def test_ratel_throughput_advantage_on_13b(self, server):
+        """Claim 2: >= 2x over the best baseline on the 13B model."""
+        profile = profile_model(llm("13B"), 32)
+        ratel = RatelPolicy().simulate(profile, server).tokens_per_s
+        for policy, min_ratio in (
+            (ZeroOffloadPolicy(), 2.0),
+            (ZeroInfinityPolicy(), 2.5),
+            (ColossalAIPolicy(), 4.0),
+        ):
+            baseline = policy.simulate(profile, server).tokens_per_s
+            assert ratel / baseline >= min_ratio, policy.name
+
+    def test_ratel_trains_175b_even_on_4080(self):
+        server = evaluation_server(gpu=RTX_4080, main_memory_bytes=256 * GiB)
+        assert RatelPolicy().feasible(profile_model(llm("175B"), 1), server)
+
+    def test_ratel_trains_276b_at_768gb(self, server):
+        assert RatelPolicy().feasible(profile_model(llm("276B"), 1), server)
+
+
+class TestFlashNeuron:
+    def test_fails_even_on_6b(self, server):
+        """§III-A: FlashNeuron 'even fails to fine-tune a 6B model'."""
+        assert not FlashNeuronPolicy().feasible(profile_model(llm("6B"), 1), server)
+
+    def test_gpu_memory_is_the_binding_tier(self, server):
+        report = FlashNeuronPolicy().memory_needs(profile_model(llm("6B"), 1), server)
+        assert "gpu" in report.shortfalls(server)
+        assert "main" not in report.shortfalls(server)
+
+    def test_no_model_state_traffic(self, server):
+        """FlashNeuron keeps states on-GPU: only activations move."""
+        profile = profile_model(llm("6B"), 1)
+        schedule = FlashNeuronPolicy().compile(profile, server)
+        assert all(b.p16_bytes == 0 for b in schedule.blocks)
+        assert schedule.total_swapped == pytest.approx(profile.activation_bytes_total)
+
+    def test_needs_ssds(self):
+        assert not FlashNeuronPolicy().supported_on(evaluation_server(n_ssds=0))
+
+
+class TestZeroFamily:
+    def test_zero_infinity_interblock_only(self, server, profile_13b_bs32):
+        schedule = ZeroInfinityPolicy().compile(profile_13b_bs32, server)
+        assert schedule.total_swapped == pytest.approx(
+            profile_13b_bs32.inter_block_bytes, rel=1e-6
+        )
+        assert schedule.total_recompute_flops > 0
+
+    def test_zero_infinity_stage_times_match_fig1a(self, server, profile_13b_bs32):
+        """Paper Fig. 1a: forward 14 s, backward 26 s, optimizer 23 s."""
+        result = ZeroInfinityPolicy().simulate(profile_13b_bs32, server)
+        assert result.forward_time == pytest.approx(14.0, rel=0.35)
+        assert result.backward_time == pytest.approx(26.0, rel=0.35)
+        assert result.optimizer_time == pytest.approx(23.0, rel=0.35)
+
+    def test_zero_infinity_gpu_busy_low(self, server, profile_13b_bs32):
+        """Paper Fig. 2b: ~36% GPU busy at 13B / batch 32."""
+        result = ZeroInfinityPolicy().simulate(profile_13b_bs32, server)
+        assert 0.2 < result.gpu_busy_fraction < 0.45
+
+    def test_zero_infinity_optimizer_share_30_to_60(self, server):
+        """Paper Fig. 2c across batches."""
+        for batch in (8, 16, 32):
+            profile = profile_model(llm("13B"), batch)
+            result = ZeroInfinityPolicy().simulate(profile, server)
+            assert 0.25 < result.optimizer_fraction < 0.60
+
+    def test_zero_offload_runs_without_ssds(self):
+        server = evaluation_server(n_ssds=0)
+        profile = profile_model(llm("6B"), 8)
+        assert ZeroOffloadPolicy().feasible(profile, server)
+        result = ZeroOffloadPolicy().simulate(profile, server)
+        assert result.iteration_time > 0
+
+    def test_zero_offload_needs_16_bytes_per_param_of_dram(self, server):
+        profile = profile_model(llm("13B"), 1)
+        needs = ZeroOffloadPolicy().memory_needs(profile, server)
+        assert needs.main_bytes > 16 * profile.n_params
+
+
+class TestG10:
+    def test_unsupported_on_consumer_gpu(self, server):
+        assert not G10Policy().supported_on(server)
+
+    def test_simulation_mode_enables_it(self, server):
+        assert G10Policy(assume_gpudirect=True).supported_on(server)
+
+    def test_offloads_everything_without_recompute(self, server, profile_13b_bs32):
+        schedule = G10Policy(assume_gpudirect=True).compile(profile_13b_bs32, server)
+        assert schedule.total_recompute_flops == 0.0
+        assert schedule.total_swapped == pytest.approx(
+            profile_13b_bs32.activation_bytes_total, rel=1e-6
+        )
+
+    def test_optimizer_stage_dominated_by_transfers(self, server, profile_13b_bs32):
+        """Paper Fig. 1b: 0.1 s of GPU work inside a ~13 s optimizer stage."""
+        result = G10Policy(assume_gpudirect=True).simulate(profile_13b_bs32, server)
+        assert result.optimizer_time == pytest.approx(13.0, rel=0.35)
+        opt_gpu_busy = result.trace.busy_time("gpu0", *result.stage_windows["optimizer"])
+        assert opt_gpu_busy < 0.15 * result.optimizer_time
+
+    def test_ratel_g10_variant_keeps_batch_on_thin_memory(self):
+        server = evaluation_server(main_memory_bytes=128 * GiB)
+        profile = profile_model(llm("70B"), 32)
+        assert G10ActivationPolicy().feasible(profile, server)
+
+
+class TestActivationStrategies:
+    def test_capuchin_caps_swap_at_host_budget(self):
+        server = evaluation_server(main_memory_bytes=128 * GiB)
+        profile = profile_model(llm("70B"), 16)
+        policy = CapuchinPolicy()
+        swap = policy.plan_swap_bytes(profile, server)
+        assert swap <= server.usable_main_memory_bytes
+
+    def test_checkmate_fails_at_128gb_for_70b(self):
+        """Paper Table V: Ratel+CM 'Failed' on the 128 GB configuration."""
+        server = evaluation_server(main_memory_bytes=128 * GiB)
+        for batch in (4, 8, 16, 32):
+            assert not CheckmatePolicy().feasible(profile_model(llm("70B"), batch), server)
+
+    def test_checkmate_works_at_256gb(self):
+        server = evaluation_server(main_memory_bytes=256 * GiB)
+        assert CheckmatePolicy().feasible(profile_model(llm("70B"), 16), server)
+
+    def test_ratel_beats_all_strategies_at_equal_batch(self):
+        """Fig. 9a: holistic beats every partial-view plan, same batch."""
+        server = evaluation_server(main_memory_bytes=512 * GiB)
+        profile = profile_model(llm("70B"), 32)
+        ratel = RatelPolicy().simulate(profile, server).tokens_per_s
+        for policy in (CapuchinPolicy(), CheckmatePolicy(), G10ActivationPolicy()):
+            other = policy.simulate(profile, server).tokens_per_s
+            assert ratel >= other * 0.999, policy.name
+
+
+class TestMegatron:
+    def test_30b_fits_70b_does_not(self):
+        """§V-I: 30B is the largest model Megatron-LM fits on the DGX."""
+        megatron = MegatronPolicy()
+        assert megatron.feasible(profile_model(llm("30B"), 8), DGX_A100)
+        assert not megatron.feasible(profile_model(llm("70B"), 8), DGX_A100)
+
+    def test_throughput_in_calibrated_range(self):
+        result = MegatronPolicy().simulate(profile_model(llm("30B"), 32), DGX_A100)
+        assert 2500 < result.tokens_per_s < 8000
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            MegatronPolicy(tp_efficiency=0.0)
+
+
+class TestFastDiT:
+    def test_oom_past_1_4b(self, server):
+        """Fig. 12: Fast-DiT cannot train the 10B+ DiT models."""
+        policy = FastDiTPolicy()
+        assert policy.feasible(profile_model(dit("0.67B"), 1), server)
+        assert not policy.feasible(profile_model(dit("10B"), 1), server)
+
+    def test_batch_shrinks_with_model_size(self, server):
+        policy = FastDiTPolicy()
+
+        def max_batch(config):
+            best = 0
+            for batch in (1, 2, 4, 8, 16, 32):
+                if policy.feasible(profile_model(config, batch), server):
+                    best = batch
+            return best
+
+        assert max_batch(dit("0.67B")) > max_batch(dit("1.4B"))
+
+    def test_ratel_trains_all_dit_sizes(self, server):
+        ratel = RatelPolicy()
+        for name in ("0.67B", "1.4B", "10B", "40B"):
+            assert ratel.feasible(profile_model(dit(name), 8), server), name
+
+
+class TestPolicyInterface:
+    def test_infeasible_simulate_raises_with_detail(self, server):
+        profile = profile_model(llm("13B"), 32)
+        with pytest.raises(InfeasibleError, match="FlashNeuron"):
+            FlashNeuronPolicy().simulate(profile, server)
+
+    def test_check_false_bypasses_feasibility(self, server):
+        profile = profile_model(llm("13B"), 32)
+        result = FlashNeuronPolicy().simulate(profile, server, check=False)
+        assert result.iteration_time > 0
+
+    def test_offloaders_require_ssds(self):
+        bare = evaluation_server(n_ssds=0)
+        for policy in (RatelPolicy(), ZeroInfinityPolicy(), ColossalAIPolicy()):
+            assert not policy.supported_on(bare), policy.name
+
+    def test_ratel_variant_validation(self):
+        with pytest.raises(ValueError):
+            RatelPolicy("bogus")

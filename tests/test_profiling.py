@@ -1,0 +1,72 @@
+"""Tests for the executed hardware-aware profiling stage (§IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    IterationTimeModel,
+    RatelPolicy,
+    plan_activation_swapping,
+    profiling_schedule,
+    run_profiling,
+)
+from repro.core.profiling import ProfilingRunError
+from repro.hardware import GB, TFLOPS, evaluation_server
+from repro.models import llm, profile_model
+
+
+class TestMeasuredProfile:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_profiling(profile_model(llm("13B"), 32), evaluation_server())
+
+    def test_measured_thp_matches_spec(self, report):
+        assert report.hardware.thp_gpu == pytest.approx(165 * TFLOPS, rel=0.02)
+
+    def test_measured_pcie_matches_spec(self, report):
+        assert report.hardware.bw_gpu == pytest.approx(21 * GB, rel=0.02)
+
+    def test_measured_ssd_matches_spec(self, report):
+        assert report.hardware.bw_s2m == pytest.approx(32 * GB, rel=0.02)
+        assert report.hardware.bw_m2s == pytest.approx(32 * GB, rel=0.02)
+
+    def test_measured_cpu_adam_matches_spec(self, report):
+        assert report.hardware.cpu_adam_params_per_s == pytest.approx(1.3e9, rel=0.02)
+
+    def test_overhead_in_papers_2_to_3x_band(self, report):
+        """The paper: profiling takes ~2-3x a subsequent iteration."""
+        assert 1.5 < report.overhead_vs_ratel < 3.5
+
+    def test_stage_times_recorded(self, report):
+        assert report.forward_time > 0
+        assert report.backward_time > 0
+        assert report.optimizer_time > 0
+        assert report.iteration_time == pytest.approx(
+            report.forward_time + report.backward_time + report.optimizer_time
+        )
+
+    def test_planning_on_measured_profile_matches_spec_profile(self, report):
+        """Algorithm 1 fed with *measured* numbers must make the same
+        decision as with spec-derived numbers — the profiling loop closes."""
+        profile = profile_model(llm("13B"), 32)
+        server = evaluation_server()
+        measured_plan = plan_activation_swapping(
+            IterationTimeModel(profile, report.hardware)
+        )
+        spec_plan = RatelPolicy().plan(profile, server)
+        assert measured_plan.a_g2m == pytest.approx(spec_plan.a_g2m, rel=0.02)
+        assert measured_plan.case is spec_plan.case
+
+
+class TestProfilingSchedule:
+    def test_is_conservative(self):
+        profile = profile_model(llm("13B"), 32)
+        schedule = profiling_schedule(profile)
+        assert schedule.total_swapped == pytest.approx(profile.inter_block_bytes)
+        assert schedule.prefetch_depth == 1
+        assert schedule.optimizer_mode.value == "deferred_cpu"
+
+    def test_requires_ssds(self):
+        with pytest.raises(ProfilingRunError):
+            run_profiling(profile_model(llm("6B"), 1), evaluation_server(n_ssds=0))

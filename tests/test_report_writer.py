@@ -1,0 +1,27 @@
+"""Tests for the EXPERIMENTS.md report primitives (cheap paths only)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.experiments.report_writer import Claim, Section
+
+
+class TestClaim:
+    def test_holding_claim_renders(self):
+        text = Claim("X is 2x", "measured 2.1x", True).render()
+        assert "paper: X is 2x" in text
+        assert "[holds]" in text
+
+    def test_deviating_claim_flagged(self):
+        assert "[DEVIATES]" in Claim("a", "b", False).render()
+
+
+class TestSection:
+    def test_renders_claims_and_tables(self):
+        table = ExperimentResult("figX", "title", ["a"])
+        table.add_row(1.0)
+        section = Section("Fig. X", "demo", [Claim("p", "m", True)], [table])
+        text = section.render()
+        assert text.startswith("## Fig. X — demo")
+        assert "```" in text
+        assert "figX" in text

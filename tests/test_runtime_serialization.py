@@ -1,0 +1,137 @@
+"""Tests for checkpoint save/resume and gradient accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelOptimizer,
+    ratel_hook,
+    ratel_init,
+)
+from repro.runtime.serialization import CheckpointError, load_checkpoint, save_checkpoint
+
+GB = 1e9
+VOCAB, DIM, LAYERS, HEADS, SEQ = 29, 16, 2, 2, 8
+
+
+def batches(n, seed=11):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        ids = rng.integers(0, VOCAB, size=(4, SEQ))
+        out.append((ids, np.roll(ids, -1, axis=1)))
+    return out
+
+
+class TestCheckpointRoundtrip:
+    def test_resume_is_bit_exact(self, tmp_path):
+        """train 4 steps == train 2, save, restore into a fresh run, train 2."""
+        loss_fn = CrossEntropyLoss()
+        data = batches(4)
+        path = str(tmp_path / "ckpt.npz")
+
+        # Uninterrupted reference.
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(1))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime, lr=1e-2)
+            for ids, targets in data:
+                runtime.train_step(lambda: loss_fn(model(ids), targets))
+            reference = {n: p.data.copy() for n, p in model.named_parameters()}
+
+        # Interrupted: 2 steps, save, rebuild everything, load, 2 more.
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(1))
+            runtime = ratel_hook(model)
+            optimizer = RatelOptimizer(model, runtime, lr=1e-2)
+            for ids, targets in data[:2]:
+                runtime.train_step(lambda: loss_fn(model(ids), targets))
+            save_checkpoint(path, optimizer.cpu_adam, step=2)
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(99))
+            runtime = ratel_hook(model)
+            optimizer = RatelOptimizer(model, runtime, lr=1e-2)
+            step = load_checkpoint(path, model, optimizer.cpu_adam)
+            assert step == 2
+            for ids, targets in data[2:]:
+                runtime.train_step(lambda: loss_fn(model(ids), targets))
+            resumed = {n: p.data.copy() for n, p in model.named_parameters()}
+
+        for name in reference:
+            np.testing.assert_array_equal(reference[name], resumed[name])
+
+    def test_mismatched_model_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(1))
+            runtime = ratel_hook(model)
+            optimizer = RatelOptimizer(model, runtime)
+            save_checkpoint(path, optimizer.cpu_adam)
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            other = GPTModel(VOCAB, DIM, LAYERS + 1, HEADS, SEQ, np.random.default_rng(1))
+            runtime = ratel_hook(other)
+            optimizer = RatelOptimizer(other, runtime)
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path, other, optimizer.cpu_adam)
+
+
+class TestGradientAccumulation:
+    @staticmethod
+    def _run(accumulate: bool, micro: int = 4):
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(11)
+        ids = rng.integers(0, VOCAB, size=(8, SEQ))
+        targets = np.roll(ids, -1, axis=1)
+        with ratel_init(
+            gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB,
+            checkpoint_tier="host",
+        ):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(4))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime, lr=1e-2)
+            for _step in range(3):
+                if accumulate:
+                    size = 8 // micro
+                    parts = [
+                        (ids[i * size : (i + 1) * size], targets[i * size : (i + 1) * size])
+                        for i in range(micro)
+                    ]
+                    runtime.train_step_accumulate(
+                        [(lambda a=a, b=b: loss_fn(model(a), b)) for a, b in parts]
+                    )
+                else:
+                    runtime.train_step(lambda: loss_fn(model(ids), targets))
+            return {n: p.data.copy() for n, p in model.named_parameters()}
+
+    def test_accumulated_equals_full_batch(self):
+        full = self._run(accumulate=False)
+        accumulated = self._run(accumulate=True)
+        for name in full:
+            np.testing.assert_array_equal(full[name], accumulated[name])
+
+    def test_one_optimizer_step_per_accumulated_batch(self):
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, VOCAB, size=(4, SEQ))
+        targets = np.roll(ids, -1, axis=1)
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(4))
+            runtime = ratel_hook(model)
+            optimizer = RatelOptimizer(model, runtime)
+            runtime.train_step_accumulate(
+                [lambda: loss_fn(model(ids), targets) for _ in range(3)]
+            )
+            assert all(count == 1 for count in optimizer.cpu_adam.step_counts.values())
+
+    def test_empty_micro_batches_rejected(self):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(VOCAB, DIM, LAYERS, HEADS, SEQ, np.random.default_rng(4))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime)
+            with pytest.raises(ValueError):
+                runtime.train_step_accumulate([])

@@ -1,0 +1,162 @@
+"""Tests for the three-tier storage manager (capacities, spill, traffic)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    GPU,
+    HOST,
+    NVME,
+    StorageError,
+    StorageManager,
+    TierCapacityError,
+)
+
+MB = 10**6
+
+
+@pytest.fixture
+def manager(tmp_path):
+    mgr = StorageManager(10 * MB, 10 * MB, 100 * MB, spill_dir=str(tmp_path))
+    yield mgr
+    mgr.close()
+
+
+class TestCapacities:
+    def test_allocation_tracked(self, manager, rng):
+        array = rng.normal(size=(1000,)).astype(np.float32)
+        stored = manager.put("x", array, GPU, itemsize=2)
+        assert stored.nbytes == 2000
+        assert manager.tiers[GPU].used_bytes == 2000
+
+    def test_capacity_enforced(self, manager, rng):
+        big = rng.normal(size=(6 * MB,)).astype(np.float32)
+        with pytest.raises(TierCapacityError):
+            manager.put("big", big, GPU, itemsize=2)  # 12 MB > 10 MB
+
+    def test_peak_tracking(self, manager, rng):
+        a = manager.put("a", rng.normal(size=(1000,)), GPU)
+        manager.put("b", rng.normal(size=(2000,)), GPU)
+        manager.drop(a)
+        assert manager.tiers[GPU].peak_bytes == 6000
+        assert manager.tiers[GPU].used_bytes == 4000
+
+    def test_move_frees_source(self, manager, rng):
+        stored = manager.put("x", rng.normal(size=(1000,)), GPU)
+        manager.move(stored, HOST)
+        assert manager.tiers[GPU].used_bytes == 0
+        assert manager.tiers[HOST].used_bytes == stored.nbytes
+
+    def test_duplicate_name_rejected(self, manager, rng):
+        manager.put("x", rng.normal(size=(10,)), GPU)
+        with pytest.raises(StorageError):
+            manager.put("x", rng.normal(size=(10,)), GPU)
+
+    def test_unknown_tier_rejected(self, manager, rng):
+        with pytest.raises(StorageError):
+            manager.put("x", rng.normal(size=(10,)), "tape")
+
+
+class TestTrafficAccounting:
+    def test_direct_links(self, manager, rng):
+        stored = manager.put("x", rng.normal(size=(1000,)), GPU, itemsize=2)
+        manager.move(stored, HOST)
+        manager.move(stored, NVME)
+        assert manager.traffic(GPU, HOST) == 2000
+        assert manager.traffic(HOST, NVME) == 2000
+        assert manager.traffic(NVME, HOST) == 0
+
+    def test_gpu_to_nvme_bounces_through_host(self, manager, rng):
+        """No GPUDirect on consumer GPUs: both hops are charged."""
+        stored = manager.put("x", rng.normal(size=(1000,)), GPU, itemsize=2)
+        manager.move(stored, NVME)
+        assert manager.traffic(GPU, HOST) == 2000
+        assert manager.traffic(HOST, NVME) == 2000
+        manager.move(stored, GPU)
+        assert manager.traffic(NVME, HOST) == 2000
+        assert manager.traffic(HOST, GPU) == 2000
+
+    def test_noop_move_counts_nothing(self, manager, rng):
+        stored = manager.put("x", rng.normal(size=(1000,)), GPU, itemsize=2)
+        manager.move(stored, GPU)
+        assert all(v == 0 for v in manager.moved_bytes.values())
+
+
+class TestSpill:
+    def test_nvme_really_spills_to_disk(self, manager, rng, tmp_path):
+        stored = manager.put("x", rng.normal(size=(1000,)), HOST, itemsize=4)
+        manager.move(stored, NVME)
+        assert stored.array is None
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_spilled_data_unreadable_until_fetched(self, manager, rng):
+        stored = manager.put("x", rng.normal(size=(1000,)), HOST)
+        manager.move(stored, NVME)
+        with pytest.raises(StorageError):
+            stored.data()
+
+    def test_fp32_roundtrip_exact(self, manager, rng):
+        original = rng.normal(size=(1000,)).astype(np.float32)
+        stored = manager.put("x", original, HOST, itemsize=4)
+        manager.move(stored, NVME)
+        manager.move(stored, HOST)
+        np.testing.assert_array_equal(stored.data(), original)
+
+    def test_fp16_roundtrip_quantizes(self, manager, rng):
+        """fp16 tensors persist at fp16 width — faithful mixed precision."""
+        original = rng.normal(size=(1000,)).astype(np.float32)
+        stored = manager.put("x", original, HOST, itemsize=2)
+        manager.move(stored, NVME)
+        manager.move(stored, HOST)
+        np.testing.assert_array_equal(
+            stored.data(), original.astype(np.float16).astype(np.float32)
+        )
+
+    def test_spill_files_cleaned_on_drop(self, manager, rng, tmp_path):
+        stored = manager.put("x", rng.normal(size=(1000,)), NVME)
+        assert len(os.listdir(tmp_path)) == 1
+        manager.drop(stored)
+        assert len(os.listdir(tmp_path)) == 0
+
+    def test_close_removes_owned_tempdir(self, rng):
+        mgr = StorageManager(MB, MB, MB)
+        mgr.put("x", rng.normal(size=(100,)), NVME)
+        spill_dir = mgr.spill_dir
+        assert os.path.isdir(spill_dir)
+        mgr.close()
+        assert not os.path.isdir(spill_dir)
+
+
+class TestInvariants:
+    @given(
+        moves=st.lists(st.sampled_from([GPU, HOST, NVME]), min_size=1, max_size=12)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_move_sequences_conserve_bytes(self, moves):
+        """Usage sums stay equal to the tensor size; data survives."""
+        rng = np.random.default_rng(0)
+        manager = StorageManager(10 * MB, 10 * MB, 10 * MB)
+        try:
+            original = rng.normal(size=(500,)).astype(np.float32)
+            stored = manager.put("x", original, GPU, itemsize=4)
+            for dest in moves:
+                manager.move(stored, dest)
+                total = sum(tier.used_bytes for tier in manager.tiers.values())
+                assert total == stored.nbytes
+                assert manager.tiers[stored.tier].used_bytes == stored.nbytes
+            if stored.tier == NVME:
+                manager.move(stored, HOST)
+            np.testing.assert_array_equal(stored.data(), original)
+        finally:
+            manager.close()
+
+    def test_lookup_by_name(self, manager, rng):
+        manager.put("weights", rng.normal(size=(10,)), HOST)
+        assert manager.get("weights").name == "weights"
+        with pytest.raises(StorageError):
+            manager.get("missing")

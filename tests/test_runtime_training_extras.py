@@ -1,0 +1,144 @@
+"""Tests for weight decay, LR scheduling and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Adam,
+    CPUAdam,
+    CrossEntropyLoss,
+    GPTModel,
+    HOST,
+    LRSchedule,
+    OptimizerError,
+    RatelOptimizer,
+    StorageManager,
+    Tensor,
+    clip_gradients,
+    ratel_hook,
+    ratel_init,
+)
+
+GB = 1e9
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_weights_with_zero_grads(self, rng):
+        param = Tensor(np.full(4, 2.0, dtype=np.float32), requires_grad=True)
+        opt = Adam([("w", param)], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(4, dtype=np.float32)
+        opt.step()
+        # Decoupled decay: w -= lr * wd * w = 2.0 - 0.1*0.5*2.0 = 1.9.
+        np.testing.assert_allclose(param.data, np.full(4, 1.9), atol=1e-6)
+
+    def test_cpu_adam_decay_matches_reference(self, rng, tmp_path):
+        manager = StorageManager(GB, GB, GB, spill_dir=str(tmp_path))
+        try:
+            data = rng.normal(size=(16,)).astype(np.float32)
+            p_ref = Tensor(data.copy(), requires_grad=True)
+            ref = Adam([("w", p_ref)], lr=1e-2, weight_decay=0.1)
+            p_ooc = Tensor(data.copy(), requires_grad=True)
+            ooc = CPUAdam([("w", p_ooc)], manager, lr=1e-2, weight_decay=0.1,
+                          states_tier=HOST)
+            for _step in range(3):
+                grad = rng.normal(size=(16,)).astype(np.float16).astype(np.float32)
+                p_ref.grad = grad.copy()
+                ref.step()
+                ooc.step_param("w", grad)
+            np.testing.assert_allclose(
+                ooc.master_weights("w"), p_ref.data, rtol=1e-5, atol=1e-7
+            )
+        finally:
+            manager.close()
+
+    def test_negative_decay_rejected(self, rng):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        with pytest.raises(OptimizerError):
+            Adam([("w", param)], weight_decay=-0.1)
+
+
+class TestLRSchedule:
+    def test_warmup_is_linear(self):
+        sched = LRSchedule(1.0, warmup_steps=10, total_steps=100)
+        assert sched.at(1) == pytest.approx(0.1)
+        assert sched.at(5) == pytest.approx(0.5)
+        assert sched.at(10) == pytest.approx(1.0)
+
+    def test_cosine_decays_to_min(self):
+        sched = LRSchedule(1.0, warmup_steps=0, total_steps=100, min_lr=0.1)
+        assert sched.at(1) < 1.0 + 1e-9
+        assert sched.at(100) == pytest.approx(0.1)
+        mid = sched.at(50)
+        assert 0.1 < mid < 1.0
+
+    def test_monotone_after_warmup(self):
+        sched = LRSchedule(3e-4, warmup_steps=5, total_steps=50)
+        rates = [sched.at(step) for step in range(5, 51)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_apply_sets_optimizer_lr(self, rng):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        opt = Adam([("w", param)], lr=1.0)
+        LRSchedule(2.0, 0, 10).apply(opt, 10)
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            LRSchedule(0.0, 0, 10)
+        with pytest.raises(OptimizerError):
+            LRSchedule(1.0, 20, 10)
+        with pytest.raises(OptimizerError):
+            LRSchedule(1.0, 0, 10).at(0)
+
+
+class TestClipping:
+    def test_norm_computed_and_applied(self):
+        a = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        a.grad = np.array([3.0, 4.0, 0.0], dtype=np.float32)
+        norm = clip_gradients([("a", a)], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(a.grad, [0.6, 0.8, 0.0], rtol=1e-5)
+
+    def test_no_clip_below_threshold(self):
+        a = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        a.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_gradients([("a", a)], max_norm=1.0)
+        np.testing.assert_allclose(a.grad, [0.3, 0.4])
+
+    def test_missing_grad_rejected(self):
+        a = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        with pytest.raises(OptimizerError):
+            clip_gradients([("a", a)], max_norm=1.0)
+
+    def test_clipped_step_requires_deferred_mode(self, rng):
+        loss_fn = CrossEntropyLoss()
+        ids = rng.integers(0, 19, size=(2, 8))
+        targets = np.roll(ids, -1, axis=1)
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model = GPTModel(19, 16, 2, 2, 8, np.random.default_rng(1))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime)
+            with pytest.raises(RuntimeError, match="active"):
+                runtime.train_step_clipped(lambda: loss_fn(model(ids), targets), 1.0)
+
+    def test_clipped_step_trains_in_deferred_mode(self, rng):
+        loss_fn = CrossEntropyLoss()
+        ids = rng.integers(0, 19, size=(2, 8))
+        targets = np.roll(ids, -1, axis=1)
+        with ratel_init(
+            gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB,
+            active_offload=False,
+        ):
+            model = GPTModel(19, 16, 2, 2, 8, np.random.default_rng(1))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime, lr=1e-2)
+            losses = []
+            for _step in range(4):
+                loss, norm = runtime.train_step_clipped(
+                    lambda: loss_fn(model(ids), targets), max_grad_norm=0.5
+                )
+                losses.append(loss)
+                assert norm > 0
+            assert losses[-1] < losses[0]

@@ -1,0 +1,321 @@
+"""Tests for the discrete-event simulation kernel and resources."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import EVALUATION_SERVER, GB
+from repro.sim import (
+    ExclusiveResource,
+    Machine,
+    RateChannel,
+    SimulationError,
+    Simulator,
+    Trace,
+)
+from repro.sim.resources import Semaphore
+
+
+class TestKernel:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def job():
+            yield sim.timeout(2.5)
+            return "done"
+
+        proc = sim.process(job())
+        sim.run()
+        assert sim.now == pytest.approx(2.5)
+        assert proc.value == "done"
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_processes_wait_on_each_other(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            return 41
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        proc = sim.process(parent())
+        sim.run()
+        assert proc.value == 42
+
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+
+        def job(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def barrier():
+            values = yield sim.all_of([sim.process(job(1, "a")), sim.process(job(3, "b"))])
+            return values
+
+        proc = sim.process(barrier())
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+        assert proc.value == ["a", "b"]
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+
+        def job(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def race():
+            value = yield sim.any_of([sim.process(job(5, "slow")), sim.process(job(1, "fast"))])
+            return value
+
+        proc = sim.process(race())
+        sim.run(until=2.0)
+        assert proc.value == "fast"
+
+    def test_event_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_empty_all_of_triggers_immediately(self):
+        sim = Simulator()
+
+        def job():
+            yield sim.all_of([])
+            return "ok"
+
+        proc = sim.process(job())
+        sim.run()
+        assert proc.value == "ok"
+        assert sim.now == 0.0
+
+    def test_determinism(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(name, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, name))
+
+            for i in range(10):
+                sim.process(worker(f"w{i}", (i * 7) % 3))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestExclusiveResource:
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        resource = ExclusiveResource(sim, "mutex")
+        order = []
+
+        def worker(name, hold):
+            grant = resource.request()
+            yield grant
+            order.append(name)
+            yield sim.timeout(hold)
+            resource.release()
+
+        for i in range(4):
+            sim.process(worker(f"w{i}", 1.0))
+        sim.run()
+        assert order == ["w0", "w1", "w2", "w3"]
+        assert sim.now == pytest.approx(4.0)
+
+    def test_release_when_idle_raises(self):
+        sim = Simulator()
+        resource = ExclusiveResource(sim, "mutex")
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+
+class TestSemaphore:
+    def test_bounds_concurrency(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 2)
+        active = []
+        peak = []
+
+        def worker():
+            yield sem.acquire()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.pop()
+            sem.release()
+
+        for _ in range(6):
+            sim.process(worker())
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == pytest.approx(3.0)
+
+    def test_rejects_zero_permits(self):
+        with pytest.raises(ValueError):
+            Semaphore(Simulator(), 0)
+
+
+class TestRateChannel:
+    def test_service_time(self):
+        sim = Simulator()
+        channel = RateChannel(sim, "link", 10 * GB, Trace())
+        assert channel.service_time(20 * GB) == pytest.approx(2.0)
+
+    def test_efficiency_slows_transfer(self):
+        sim = Simulator()
+        channel = RateChannel(sim, "link", 10 * GB, Trace())
+        assert channel.service_time(10 * GB, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_efficiency_out_of_range_rejected(self):
+        channel = RateChannel(Simulator(), "link", 1.0, Trace())
+        with pytest.raises(ValueError):
+            channel.service_time(1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            channel.service_time(1.0, efficiency=1.5)
+
+    def test_negative_amount_rejected(self):
+        channel = RateChannel(Simulator(), "link", 1.0, Trace())
+        with pytest.raises(ValueError):
+            channel.service_time(-1.0)
+
+    def test_serializes_transfers(self):
+        sim = Simulator()
+        trace = Trace()
+        channel = RateChannel(sim, "link", 1 * GB, trace)
+
+        def sender(nbytes):
+            yield from channel.use(nbytes, "x")
+
+        sim.process(sender(1 * GB))
+        sim.process(sender(2 * GB))
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+        assert channel.total_amount == pytest.approx(3 * GB)
+        assert channel.busy_time == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=5 * GB), min_size=1, max_size=8))
+    def test_total_time_is_sum_of_services(self, sizes):
+        sim = Simulator()
+        channel = RateChannel(sim, "link", 1 * GB, Trace())
+
+        def sender(nbytes):
+            yield from channel.use(nbytes)
+
+        for nbytes in sizes:
+            sim.process(sender(nbytes))
+        sim.run()
+        assert sim.now == pytest.approx(sum(sizes) / GB)
+
+
+class TestMachine:
+    def test_channels_built_from_spec(self):
+        machine = Machine(EVALUATION_SERVER)
+        assert len(machine.gpus) == 1
+        assert machine.gpus[0].rate == EVALUATION_SERVER.gpu.peak_fp16_flops
+        assert machine.pcie_m2g[0].rate == pytest.approx(21 * GB)
+        assert machine.ssd.read_bw == pytest.approx(32 * GB)
+
+    def test_ssd_simplex_serializes_read_and_write(self):
+        machine = Machine(EVALUATION_SERVER)
+
+        def reader():
+            yield from machine.ssd.read(32 * GB)
+
+        def writer():
+            yield from machine.ssd.write(32 * GB)
+
+        machine.sim.process(reader())
+        machine.sim.process(writer())
+        machine.run()
+        assert machine.now == pytest.approx(2.0)
+        assert machine.ssd.total_read == pytest.approx(32 * GB)
+        assert machine.ssd.total_written == pytest.approx(32 * GB)
+
+    def test_duplex_pcie_directions_run_concurrently(self):
+        machine = Machine(EVALUATION_SERVER)
+
+        def down():
+            yield from machine.pcie_m2g[0].use(21 * GB)
+
+        def up():
+            yield from machine.pcie_g2m[0].use(21 * GB)
+
+        machine.sim.process(down())
+        machine.sim.process(up())
+        machine.run()
+        assert machine.now == pytest.approx(1.0)
+
+    def test_rejects_non_server(self):
+        with pytest.raises(TypeError):
+            Machine("not a server")
+
+    def test_ssd_on_empty_array_rejected(self):
+        machine = Machine(EVALUATION_SERVER.with_ssds(0))
+
+        def reader():
+            yield from machine.ssd.read(1.0)
+
+        machine.sim.process(reader())
+        with pytest.raises(RuntimeError):
+            machine.run()
+
+
+class TestTrace:
+    def test_busy_time_clips_to_window(self):
+        trace = Trace()
+        trace.record("gpu", "k", 1.0, 5.0, 100.0)
+        assert trace.busy_time("gpu") == pytest.approx(4.0)
+        assert trace.busy_time("gpu", 2.0, 3.0) == pytest.approx(1.0)
+        assert trace.busy_time("gpu", 6.0, 9.0) == 0.0
+
+    def test_utilization(self):
+        trace = Trace()
+        trace.record("ssd", "x", 0.0, 2.0, 10.0)
+        assert trace.utilization("ssd", 0.0, 4.0) == pytest.approx(0.5)
+        assert trace.utilization("ssd", 0.0, 0.0) == 0.0
+
+    def test_moved_prorates_partial_overlap(self):
+        trace = Trace()
+        trace.record("link", "t", 0.0, 4.0, 8 * GB)
+        assert trace.moved("link") == pytest.approx(8 * GB)
+        assert trace.moved("link", 0.0, 2.0) == pytest.approx(4 * GB)
+
+    def test_moved_filters_by_label_prefix(self):
+        trace = Trace()
+        trace.record("link", "grad_b0", 0.0, 1.0, 1.0)
+        trace.record("link", "act_b0", 1.0, 2.0, 2.0)
+        assert trace.moved("link", label_prefix="grad") == pytest.approx(1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            Trace().record("r", "l", 2.0, 1.0, 0.0)
+
+    def test_resources_listing(self):
+        trace = Trace()
+        trace.record("b", "l", 0, 1, 0)
+        trace.record("a", "l", 0, 1, 0)
+        assert trace.resources() == ["a", "b"]

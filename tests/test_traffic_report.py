@@ -1,0 +1,37 @@
+"""Tests for the per-link traffic accounting (Fig. 1's byte annotations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import traffic_report
+
+
+class TestTrafficReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return traffic_report.run()
+
+    def test_zero_infinity_moves_interblock_only(self, result):
+        """Paper: ~12.5 GB of inter-block activations."""
+        row = next(r for r in result.rows if r[0] == "ZeRO-Infinity")
+        assert row[1] == pytest.approx(13.8, rel=0.10)
+
+    def test_g10_moves_everything(self, result):
+        """Paper: ~213 GB of activations for 13B at batch 32."""
+        row = next(r for r in result.rows if r[0] == "G10")
+        assert row[1] == pytest.approx(213, rel=0.10)
+
+    def test_ratel_between_the_extremes(self, result):
+        by_name = {r[0]: r for r in result.rows}
+        assert by_name["ZeRO-Infinity"][1] < by_name["Ratel"][1] < by_name["G10"][1]
+
+    def test_activation_traffic_symmetric(self, result):
+        for row in result.rows:
+            assert row[1] == pytest.approx(row[2], rel=1e-6)
+
+    def test_model_state_traffic_identical_across_systems(self, result):
+        """All three stream the same 26 bytes/param of optimizer state."""
+        states = result.column("opt states (SSD)")
+        assert max(states) == pytest.approx(min(states), rel=1e-6)
+        assert states[0] == pytest.approx(26 * 12.85, rel=0.02)  # 13B params

@@ -1,0 +1,50 @@
+"""Tests for the analytic-vs-engine validation sweep."""
+
+from __future__ import annotations
+
+from repro.core import sweep_agreement
+from repro.hardware import EVALUATION_SERVER
+
+
+class TestAgreement:
+    def test_all_points_within_15_percent(self):
+        points = sweep_agreement(EVALUATION_SERVER, models=("6B", "13B", "70B"))
+        assert points, "sweep produced no feasible points"
+        for point in points:
+            assert abs(point.relative_error) < 0.15, point
+
+    def test_analytic_is_a_lower_bound(self):
+        """Eqs. 1-5 assume perfect overlap: the engine can only be slower."""
+        for point in sweep_agreement(EVALUATION_SERVER, models=("13B",)):
+            assert point.simulated_s >= point.analytic_s * (1 - 1e-9)
+
+    def test_agreement_improves_with_model_size(self):
+        """Fill/drain effects amortize over more blocks."""
+        points = sweep_agreement(
+            EVALUATION_SERVER, models=("6B", "70B"), batches=(16,)
+        )
+        by_model = {p.model: abs(p.relative_error) for p in points}
+        assert by_model["70B"] < by_model["6B"]
+
+
+class TestStarQuality:
+    """The paper's Fig. 9b 'nearly optimal predictions', against execution."""
+
+    def test_regret_under_two_percent(self):
+        from repro.core import star_quality
+        from repro.hardware import GiB, evaluation_server
+
+        server = evaluation_server(main_memory_bytes=128 * GiB)
+        for point in star_quality(server, batches=(24, 48)):
+            assert point.regret < 0.02, point
+
+    def test_prediction_is_feasible_amount(self):
+        from repro.core import star_quality
+        from repro.hardware import evaluation_server
+        from repro.models import llm, profile_model
+
+        server = evaluation_server()
+        for point in star_quality(server, batches=(36,)):
+            profile = profile_model(llm("13B"), point.batch_size)
+            assert profile.inter_block_bytes <= point.predicted_a_g2m
+            assert point.predicted_a_g2m <= profile.activation_bytes_total
