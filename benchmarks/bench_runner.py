@@ -1,0 +1,114 @@
+"""Bench: the sweep orchestrator vs the seed's sequential evaluation loop.
+
+Times the Fig. 5a grid (4 systems x 5 batches of the 13B model on the
+RTX 4090) four ways:
+
+* ``seed_sequential`` — the pre-runner code path: one
+  ``feasible``/``simulate`` round-trip per point, no memoization;
+* ``runner_cold``     — the same grid through a fresh :class:`Sweep`;
+* ``runner_warm``     — the grid again on the warm cache (the acceptance
+  bar: >= 3x faster than the seed path, numerically identical);
+* ``runner_process``  — a fresh sweep fanned out across a process pool.
+
+The timings land in ``benchmarks/results/BENCH_runner.json`` so the
+speedups are diffable across commits.  Runs under the ``bench_smoke``
+marker (the fast "bench-smoke" tier): plain ``time.perf_counter``, no
+pytest-benchmark dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.experiments.fig5_throughput import sweep_points
+from repro.models.profile import profile_model
+from repro.runner import Sweep
+
+from conftest import RESULTS_DIR
+
+RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
+
+#: The warm-cache acceptance bar relative to the seed's sequential loop.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _seed_sequential(points) -> list[float]:
+    """The pre-runner evaluation loop: per-point feasibility + simulation."""
+    values = []
+    for point in points:
+        profile = profile_model(point.config, point.batch_size)
+        if not point.policy.feasible(profile, point.server):
+            values.append(float("nan"))
+            continue
+        values.append(point.policy.simulate(profile, point.server).tokens_per_s)
+    return values
+
+
+def _tokens(outcomes) -> list[float]:
+    return [o.tokens_per_s if o.feasible else float("nan") for o in outcomes]
+
+
+def _same(a: list[float], b: list[float]) -> bool:
+    return all(
+        (math.isnan(x) and math.isnan(y)) or x == y for x, y in zip(a, b)
+    ) and len(a) == len(b)
+
+
+@pytest.mark.bench_smoke
+def test_runner_vs_sequential():
+    points = sweep_points()
+
+    # Planning memoizes on the policy instances; rebuild the grid per
+    # variant so each timing starts from genuinely cold policies.
+    started = time.perf_counter()
+    seed_values = _seed_sequential(sweep_points())
+    seed_s = time.perf_counter() - started
+    profile_model.cache_clear()
+
+    sweep = Sweep()
+    started = time.perf_counter()
+    cold = _tokens(sweep.run(points))
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = _tokens(sweep.run(points))
+    warm_s = time.perf_counter() - started
+
+    profile_model.cache_clear()
+    started = time.perf_counter()
+    parallel = _tokens(Sweep(executor="process", max_workers=4).run(sweep_points()))
+    parallel_s = time.perf_counter() - started
+
+    assert _same(seed_values, cold)
+    assert _same(seed_values, warm)
+    assert _same(seed_values, parallel)
+
+    warm_speedup = seed_s / warm_s if warm_s > 0 else float("inf")
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache only {warm_speedup:.1f}x over the sequential seed path"
+    )
+
+    payload = {
+        "grid_points": len(points),
+        "seed_sequential_s": seed_s,
+        "runner_cold_s": cold_s,
+        "runner_warm_s": warm_s,
+        "runner_process_s": parallel_s,
+        "warm_speedup_vs_seed": warm_speedup,
+        "cache": {
+            "hits": sweep.stats.hits,
+            "misses": sweep.stats.misses,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(
+        f"\nrunner bench: seed {seed_s:.2f}s, cold {cold_s:.2f}s, "
+        f"warm {warm_s:.4f}s ({warm_speedup:.0f}x), process {parallel_s:.2f}s"
+    )

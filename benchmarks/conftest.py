@@ -12,9 +12,23 @@ import os
 
 import pytest
 
+from repro import runner
 from repro.analysis.report import ExperimentResult
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(autouse=True)
+def fresh_runner():
+    """Drop the shared sweep around each benchmark.
+
+    The experiment harnesses memoize through :func:`repro.runner.default_sweep`;
+    a warm cache from a previous benchmark would turn a timing run into a
+    cache-lookup run.
+    """
+    runner.reset()
+    yield
+    runner.reset()
 
 
 @pytest.fixture

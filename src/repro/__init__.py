@@ -15,6 +15,9 @@ Layout:
 * :mod:`repro.runtime`     — a functional NumPy training runtime with
   real tiered storage, checkpoint/offload hooks, out-of-core CPU Adam
   and the paper's Fig.-4 API.
+* :mod:`repro.runner`      — sweep orchestration: content-keyed result
+  caching (memory LRU + on-disk JSON), parallel fan-out, progress hooks;
+  the single evaluation entry point for experiments/benchmarks/CLI.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 * :mod:`repro.analysis`    — cost-effectiveness + result rendering.
 """

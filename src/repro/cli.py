@@ -7,10 +7,17 @@ Commands:
   ``examples/plan_175b_on_4090.py`` flow, parameterised).
 * ``maxsize``     — the max-trainable-size frontier per system (Fig. 6
   style) for one server configuration.
+* ``sweep``       — evaluate a (system x model x batch) grid through the
+  :mod:`repro.runner` orchestrator and print the tokens/s table.
 * ``experiments`` — run the paper's experiment harnesses by id
   (``fig1`` ... ``fig13``, or ``all``) and print the tables.
 * ``trace``       — export one simulated Ratel iteration as a
   Chrome/Perfetto trace JSON (the Fig. 1 timeline, interactive).
+
+Every evaluation routes through the shared :class:`repro.runner.Sweep`;
+``--jobs`` fans grid points across a process pool and ``--cache-dir``
+persists results (conventionally ``.repro_cache/``) so re-runs are
+served from disk.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import runner
 from repro.analysis.report import ExperimentResult
 from repro.baselines import (
     ColossalAIPolicy,
@@ -25,12 +33,24 @@ from repro.baselines import (
     ZeroInfinityPolicy,
     ZeroOffloadPolicy,
 )
-from repro.core import RatelPolicy, check_feasible, max_trainable_params
+from repro.core import RatelPolicy
 from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server, fmt_bytes
-from repro.models import LLM_PRESETS, llm, profile_model
+from repro.models import LLM_PRESETS, llm
+from repro.runner import SweepPoint
 from repro.sim import write_chrome_trace
 
 _GPUS = {"4090": RTX_4090, "3090": RTX_3090, "4080": RTX_4080}
+
+#: Systems addressable from the ``sweep`` command line.
+_SYSTEMS = {
+    "ratel": RatelPolicy,
+    "ratel-naive": lambda: RatelPolicy("naive"),
+    "ratel-zero": lambda: RatelPolicy("zero"),
+    "zero-infinity": ZeroInfinityPolicy,
+    "zero-offload": ZeroOffloadPolicy,
+    "colossal-ai": ColossalAIPolicy,
+    "flashneuron": FlashNeuronPolicy,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,7 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     _server_args(maxsize)
     maxsize.add_argument("--batch", type=int, default=1)
 
+    sweep = sub.add_parser("sweep", help="evaluate a grid through the runner")
+    _server_args(sweep)
+    _runner_args(sweep)
+    sweep.add_argument(
+        "--models", nargs="+", default=["13B"],
+        choices=sorted(LLM_PRESETS), help="Table IV models to sweep",
+    )
+    sweep.add_argument(
+        "--batches", nargs="+", type=int, default=[8, 16, 32], help="batch sizes",
+    )
+    sweep.add_argument(
+        "--systems", nargs="+", default=["ratel", "zero-infinity"],
+        choices=sorted(_SYSTEMS), help="systems to compare",
+    )
+
     experiments = sub.add_parser("experiments", help="run paper experiments")
+    _runner_args(experiments)
     experiments.add_argument(
         "ids", nargs="*", default=["all"],
         help="experiment ids (fig1, fig2, fig5-fig13) or 'all'",
@@ -73,6 +109,30 @@ def _server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ssds", type=int, default=12)
 
 
+def _runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan grid points across N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist results under DIR (e.g. .repro_cache/) and reuse on re-runs",
+    )
+
+
+def _configure_runner(args) -> None:
+    """Point the shared default sweep at the requested executor/cache."""
+    jobs = getattr(args, "jobs", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs is None and cache_dir is None:
+        return
+    runner.configure(
+        executor="process" if jobs else "serial",
+        max_workers=jobs,
+        cache_dir=cache_dir,
+    )
+
+
 def _server_from(args) -> "ServerSpec":  # noqa: F821
     return evaluation_server(
         gpu=_GPUS[args.gpu],
@@ -83,17 +143,13 @@ def _server_from(args) -> "ServerSpec":  # noqa: F821
 
 def cmd_plan(args, out) -> int:
     server = _server_from(args)
-    profile = profile_model(llm(args.model), args.batch)
-    ratel = RatelPolicy()
-    report = check_feasible(ratel, profile, server)
-    if not report.feasible:
-        missing = ", ".join(
-            f"{tier} short {fmt_bytes(byte)}" for tier, byte in report.shortfalls.items()
-        )
-        print(f"{args.model} at batch {args.batch} does NOT fit: {missing}", file=out)
+    outcome = runner.default_sweep().evaluate(
+        RatelPolicy(), llm(args.model), args.batch, server, detail=True
+    )
+    if not outcome.feasible:
+        print(f"{args.model} at batch {args.batch} does NOT fit: {outcome.reason}", file=out)
         return 1
-    plan = ratel.plan(profile, server)
-    result = ratel.simulate(profile, server)
+    plan = outcome.plan
     print(
         f"{args.model} batch {args.batch} on {server.gpu.name} / "
         f"{args.memory_gb} GiB / {args.ssds} SSDs",
@@ -102,10 +158,10 @@ def cmd_plan(args, out) -> int:
     print(
         f"  plan: swap {fmt_bytes(plan.a_g2m)} "
         f"(main {fmt_bytes(plan.a_to_main)}, SSD {fmt_bytes(plan.a_to_ssd)}), "
-        f"case {plan.case.name}",
+        f"case {plan.case}",
         file=out,
     )
-    print(result.summary(), file=out)
+    print(outcome.require_result().summary(), file=out)
     return 0
 
 
@@ -123,15 +179,55 @@ def cmd_maxsize(args, out) -> int:
         f"{args.ssds} SSDs (batch {args.batch}):",
         file=out,
     )
-    for policy in policies:
-        best = max_trainable_params(policy, server, batch_size=args.batch)
+    sweep = runner.default_sweep()
+    sizes = sweep.run(
+        [SweepPoint.max_trainable(policy, server, batch_size=args.batch) for policy in policies]
+    )
+    for policy, best in zip(policies, sizes):
         print(f"  {policy.name:15s} {best / 1e9:7.1f}B", file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    _configure_runner(args)
+    server = _server_from(args)
+    policies = [_SYSTEMS[name]() for name in args.systems]
+    points = [
+        SweepPoint.evaluate(policy, llm(model), batch, server)
+        for model in args.models
+        for batch in args.batches
+        for policy in policies
+    ]
+    sweep = runner.default_sweep()
+    outcomes = sweep.run(points)
+    result = ExperimentResult(
+        experiment="sweep",
+        title=f"tokens/s on {server.gpu.name} / {args.memory_gb} GiB / {args.ssds} SSDs",
+        columns=["model", "batch"] + [policy.name for policy in policies],
+    )
+    index = 0
+    for model in args.models:
+        for batch in args.batches:
+            row = outcomes[index : index + len(policies)]
+            index += len(policies)
+            result.add_row(
+                model,
+                batch,
+                *(o.tokens_per_s if o.feasible else float("nan") for o in row),
+            )
+    print(result.render(), file=out)
+    stats = sweep.stats
+    print(
+        f"{len(points)} points: {stats.hits} cache hits, {stats.misses} computed",
+        file=out,
+    )
     return 0
 
 
 def cmd_experiments(args, out) -> int:
     from repro import experiments as exp
 
+    _configure_runner(args)
     ids = set(args.ids)
     run_all = "all" in ids
     ran = 0
@@ -164,9 +260,10 @@ def cmd_report(args, out) -> int:
 
 def cmd_trace(args, out) -> int:
     server = _server_from(args)
-    profile = profile_model(llm(args.model), args.batch)
-    ratel = RatelPolicy()
-    result = ratel.simulate(profile, server)
+    outcome = runner.default_sweep().evaluate(
+        RatelPolicy(), llm(args.model), args.batch, server, detail=True
+    )
+    result = outcome.require_result()
     write_chrome_trace(result.trace, args.output, stage_windows=result.stage_windows)
     print(
         f"wrote {args.output}: {len(result.trace.intervals)} events over "
@@ -183,6 +280,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "plan": cmd_plan,
         "maxsize": cmd_maxsize,
+        "sweep": cmd_sweep,
         "experiments": cmd_experiments,
         "report": cmd_report,
         "trace": cmd_trace,

@@ -22,6 +22,7 @@ from .capacity import (
     max_trainable_params,
 )
 from .engine import IterationResult, run_iteration
+from .evaluation import EvalOutcome, PlanSummary, collect_metrics
 from .gradient_offload import OffloadTimelines, analyze as analyze_gradient_offload, overlap_pays
 from .hwprofile import HardwareProfile, ProfilingError, profile_hardware
 from .iteration_model import (
@@ -59,6 +60,9 @@ __all__ = [
     "max_trainable_params",
     "IterationResult",
     "run_iteration",
+    "EvalOutcome",
+    "PlanSummary",
+    "collect_metrics",
     "OffloadTimelines",
     "analyze_gradient_offload",
     "overlap_pays",

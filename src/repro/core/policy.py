@@ -5,6 +5,14 @@ profile and a server, a policy (a) states its memory requirements per
 tier, and (b) compiles an :class:`~repro.core.schedule.IterationSchedule`
 for the discrete-event engine.  The capacity planner and all experiment
 harnesses work purely against this interface.
+
+:meth:`OffloadPolicy.evaluate` is the preferred entry point for
+experiment code: it answers feasibility, planning and simulation in one
+pass and returns a single :class:`~repro.core.evaluation.EvalOutcome`.
+The split :meth:`feasible` / :meth:`simulate` pair remains for callers
+that need only one half (and as the substrate ``evaluate`` builds on),
+but new sweep-style code should go through ``evaluate`` — directly or,
+better, via :mod:`repro.runner`, which adds caching and fan-out.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from repro.hardware.spec import ServerSpec
 from repro.models.profile import ModelProfile
 
 from .engine import IterationResult, run_iteration
+from .evaluation import EvalOutcome, PlanSummary, collect_metrics
 from .memory_model import InfeasibleError, ResourceNeeds
 from .schedule import IterationSchedule
 
@@ -62,8 +71,64 @@ class OffloadPolicy(abc.ABC):
 
     def require_feasible(self, profile: ModelProfile, server: ServerSpec) -> None:
         """Raise :class:`InfeasibleError` with a tier-by-tier explanation."""
+        reason = self._infeasible_reason(profile, server)
+        if reason is not None:
+            raise InfeasibleError(reason)
+
+    def evaluate(
+        self,
+        profile: ModelProfile,
+        server: ServerSpec,
+        *,
+        simulate_infeasible: bool = False,
+    ) -> EvalOutcome:
+        """Feasibility + plan + simulation as one rich :class:`EvalOutcome`.
+
+        The feasibility verdict is computed exactly once (no repeated
+        ``memory_needs`` round-trips); policies that expose a ``plan()``
+        method (the Ratel family) get their Algorithm-1 plan summarised
+        into the outcome.  The iteration is simulated when the point is
+        feasible — or unconditionally on supported hardware with
+        ``simulate_infeasible=True``, the ``simulate(check=False)``
+        analogue used by the motivation studies that time workloads which
+        would not actually fit.
+        """
+        supported = self.supported_on(server)
+        reason = self._infeasible_reason(profile, server)
+        feasible = reason is None
+
+        plan = None
+        if supported:
+            planner = getattr(self, "plan", None)
+            if callable(planner):
+                plan = PlanSummary.from_plan(planner(profile, server))
+
+        result = None
+        metrics: dict = {}
+        if supported and (feasible or simulate_infeasible):
+            # Through simulate() (not run_iteration directly) so policies
+            # that override it — Megatron's tensor-parallel aggregation —
+            # keep their semantics; feasibility was already decided above.
+            result = self.simulate(profile, server, check=False)
+            metrics = collect_metrics(result)
+
+        return EvalOutcome(
+            policy=self.name,
+            model=profile.config.name,
+            batch_size=profile.batch_size,
+            server=server.name,
+            feasible=feasible,
+            supported=supported,
+            reason=reason,
+            plan=plan,
+            metrics=metrics,
+            result=result,
+        )
+
+    def _infeasible_reason(self, profile: ModelProfile, server: ServerSpec) -> str | None:
+        """Why this workload does not fit, or ``None`` when it does."""
         if not self.supported_on(server):
-            raise InfeasibleError(
+            return (
                 f"{self.name} is not supported on {server.name!r} "
                 f"(hardware requirement not met)"
             )
@@ -72,7 +137,8 @@ class OffloadPolicy(abc.ABC):
             detail = ", ".join(
                 f"{tier}: {missing / 1e9:.1f} GB short" for tier, missing in shortfalls.items()
             )
-            raise InfeasibleError(
+            return (
                 f"{self.name} cannot fit {profile.config.name} "
                 f"(batch {profile.batch_size}) on {server.name!r}: {detail}"
             )
+        return None

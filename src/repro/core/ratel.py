@@ -59,6 +59,11 @@ class RatelPolicy(OffloadPolicy):
             )
         self.variant = variant
         self.name = _VARIANT_NAMES[variant]
+        #: Memoized Algorithm-1 plans keyed by (config, batch, server).
+        #: ``evaluate()`` consults the plan for feasibility, the schedule
+        #: and the outcome summary; without this memo each point would
+        #: re-run the planner three times.
+        self._plan_cache: dict = {}
 
     def supported_on(self, server: ServerSpec) -> bool:
         """Ratel offloads model states to NVMe, so it needs an SSD array."""
@@ -78,9 +83,23 @@ class RatelPolicy(OffloadPolicy):
         return hw
 
     def plan(self, profile: ModelProfile, server: ServerSpec) -> SwapPlan:
-        """Run the holistic activation-swapping manager (Algorithm 1)."""
+        """Run the holistic activation-swapping manager (Algorithm 1).
+
+        Plans are memoized per (model config, batch, server): the planner
+        is deterministic in those inputs, and one evaluation point asks
+        for its plan from ``memory_needs``, ``compile`` and the outcome
+        summary alike.
+        """
+        key = (profile.config, profile.batch_size, server)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
         model = IterationTimeModel(profile, self.hardware_profile(profile, server))
-        return plan_activation_swapping(model)
+        plan = plan_activation_swapping(model)
+        if len(self._plan_cache) >= 128:  # bound the per-instance memo
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[key] = plan
+        return plan
 
     # -- policy interface -------------------------------------------------------
 

@@ -13,6 +13,10 @@ sweep quantifying its effect:
   throughput once the pipeline is full.
 * ``GPU occupancy model``  — the saturating-kernel assumption behind the
   batch-size effects in Figs. 5/12.
+
+The schedule knobs are exposed through :class:`_TunedRatel`, a policy
+subclass whose public attributes participate in the runner's content
+keys, so every ablation point is cached like any other sweep point.
 """
 
 from __future__ import annotations
@@ -20,29 +24,74 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis.report import ExperimentResult
-from repro.core import RatelPolicy, max_trainable_params, run_iteration
+from repro.core import RatelPolicy
 from repro.core.memory_model import active_offload_main_overhead
 from repro.hardware import GiB, evaluation_server
 from repro.hardware.spec import gpu_occupancy
 from repro.models import llm, profile_model
+from repro.runner import SweepPoint
+
+from .common import default_sweep, evaluate_grid, evaluate_point
+
+
+class _TunedRatel(RatelPolicy):
+    """Ratel with overridable schedule knobs (prefetch depth, SSD efficiency).
+
+    The knobs are public attributes, so two differently-tuned instances
+    get distinct cache keys in the runner.
+    """
+
+    def __init__(
+        self,
+        *,
+        prefetch_depth: int | None = None,
+        ssd_efficiency: float | None = None,
+    ) -> None:
+        super().__init__("optimized")
+        self.prefetch_depth = prefetch_depth
+        self.ssd_efficiency = ssd_efficiency
+        knobs = []
+        if prefetch_depth is not None:
+            knobs.append(f"depth={prefetch_depth}")
+        if ssd_efficiency is not None:
+            knobs.append(f"ssd_eff={ssd_efficiency}")
+        self.name = f"Ratel({', '.join(knobs)})" if knobs else self.name
+
+    def compile(self, profile, server):
+        schedule = super().compile(profile, server)
+        overrides = {}
+        if self.prefetch_depth is not None:
+            overrides["prefetch_depth"] = self.prefetch_depth
+        if self.ssd_efficiency is not None:
+            overrides["ssd_efficiency"] = self.ssd_efficiency
+        return replace(schedule, **overrides) if overrides else schedule
 
 
 def run_prefetch_depth(batches=(8, 32)) -> ExperimentResult:
     """Iteration time vs prefetch depth (13B on the evaluation server)."""
     server = evaluation_server()
-    ratel = RatelPolicy()
+    config = llm("13B")
+    depths = (1, 2, 3, 4, 6)
     result = ExperimentResult(
         experiment="ablation_prefetch",
         title="Ratel iteration time (s) vs parameter-prefetch depth, 13B",
         columns=["depth"] + [f"bsz={batch}" for batch in batches],
     )
-    for depth in (1, 2, 3, 4, 6):
-        row: list = [depth]
-        for batch in batches:
-            profile = profile_model(llm("13B"), batch)
-            schedule = replace(ratel.compile(profile, server), prefetch_depth=depth)
-            row.append(run_iteration(server, schedule).iteration_time)
-        result.add_row(*row)
+    points = [
+        SweepPoint.evaluate(
+            _TunedRatel(prefetch_depth=depth),
+            config,
+            batch,
+            server,
+            simulate_infeasible=True,
+        )
+        for depth in depths
+        for batch in batches
+    ]
+    outcomes = evaluate_grid(points)
+    for row_index, depth in enumerate(depths):
+        row = outcomes[row_index * len(batches) : (row_index + 1) * len(batches)]
+        result.add_row(depth, *(o.iteration_time for o in row))
     result.note("deep prefetch hides fetch latency; returns diminish past ~3")
     return result
 
@@ -50,16 +99,21 @@ def run_prefetch_depth(batches=(8, 32)) -> ExperimentResult:
 def run_ssd_efficiency() -> ExperimentResult:
     """Throughput vs achieved SSD efficiency (the I/O-engine choice)."""
     server = evaluation_server()
-    ratel = RatelPolicy()
-    profile = profile_model(llm("70B"), 16)
+    config = llm("70B")
     result = ExperimentResult(
         experiment="ablation_ssd_eff",
         title="Ratel 70B throughput (token/s) vs achieved SSD efficiency",
         columns=["efficiency", "token/s"],
     )
     for efficiency in (0.4, 0.5, 0.7, 0.85, 1.0):
-        schedule = replace(ratel.compile(profile, server), ssd_efficiency=efficiency)
-        result.add_row(efficiency, run_iteration(server, schedule).tokens_per_s)
+        outcome = evaluate_point(
+            _TunedRatel(ssd_efficiency=efficiency),
+            config,
+            16,
+            server,
+            simulate_infeasible=True,
+        )
+        result.add_row(efficiency, outcome.tokens_per_s)
     result.note("DeepSpeed's aio path sits near 0.5; a full-rate engine nearly doubles 70B throughput")
     return result
 
@@ -67,6 +121,7 @@ def run_ssd_efficiency() -> ExperimentResult:
 def run_optimizer_window() -> ExperimentResult:
     """Max trainable size vs the active-offload state window (256 GB)."""
     server = evaluation_server(main_memory_bytes=256 * GiB)
+    sweep = default_sweep()
     result = ExperimentResult(
         experiment="ablation_window",
         title="Max trainable size (B) vs in-flight state window, 256 GB DRAM",
@@ -75,7 +130,7 @@ def run_optimizer_window() -> ExperimentResult:
     profile_175 = profile_model(llm("175B"), 1)
     for window in (2, 4, 7, 10, 14):
         policy = _WindowedRatel(window)
-        best = max_trainable_params(policy, server) / 1e9
+        best = sweep.max_trainable(policy, server) / 1e9
         overhead = active_offload_main_overhead(profile_175, window_blocks=window) / 1e9
         result.add_row(window, best, overhead)
     result.note("a deeper window buys pipeline slack but eats the DRAM that bounds model size")
@@ -106,8 +161,12 @@ def run_occupancy_model() -> ExperimentResult:
     )
     for batch in (1, 2, 4, 8):
         profile = profile_model(config, batch)
-        with_occ = policy.simulate(profile, server, check=False).achieved_tflops
-        without = policy.simulate(profile, flat_server, check=False).achieved_tflops
+        with_occ = evaluate_point(
+            policy, config, batch, server, simulate_infeasible=True
+        ).achieved_tflops
+        without = evaluate_point(
+            policy, config, batch, flat_server, simulate_infeasible=True
+        ).achieved_tflops
         occ = gpu_occupancy(profile.tokens_per_iteration, server.gpu.saturation_tokens)
         result.add_row(batch, with_occ, without, occ)
     result.note("without the occupancy model, tiny batches would implausibly hit peak FLOPS")

@@ -1,27 +1,106 @@
-"""Shared helpers for the per-figure experiment modules."""
+"""Shared helpers for the per-figure experiment modules.
+
+All evaluation points route through the shared default
+:class:`~repro.runner.Sweep` (:func:`repro.runner.default_sweep`), so
+every figure benefits from content-keyed memoization — overlapping
+points across figures (the 13B/batch-32 point appears in Figs. 1, 5 and
+the traffic report, for instance) are planned and simulated once — and
+from the parallel fan-out / disk cache the CLI can configure.
+
+``throughput_tokens_per_s`` and ``best_throughput`` predate
+:meth:`OffloadPolicy.evaluate` and are kept as thin deprecated shims.
+"""
 
 from __future__ import annotations
 
 import math
+import warnings
 
-from repro.core.memory_model import InfeasibleError
+from repro.core.evaluation import EvalOutcome
 from repro.core.policy import OffloadPolicy
 from repro.hardware.spec import ServerSpec
-from repro.models.profile import profile_model
+from repro.runner import SweepPoint, default_sweep
 
 #: Marker for configurations a system cannot run (rendered as "-").
 FAILED = float("nan")
 
 
+def evaluate_point(
+    policy: OffloadPolicy,
+    config,
+    batch_size: int,
+    server: ServerSpec,
+    *,
+    simulate_infeasible: bool = False,
+    detail: bool = False,
+) -> EvalOutcome:
+    """Cached rich evaluation of one (policy, model, batch, server) point."""
+    return default_sweep().evaluate(
+        policy,
+        config,
+        batch_size,
+        server,
+        simulate_infeasible=simulate_infeasible,
+        detail=detail,
+    )
+
+
+def evaluate_grid(points) -> list:
+    """Run a grid of :class:`SweepPoint` through the shared sweep (ordered)."""
+    return default_sweep().run(points)
+
+
+def best_feasible(
+    policy: OffloadPolicy,
+    config,
+    server: ServerSpec,
+    batch_candidates: tuple[int, ...],
+    *,
+    metric: str = "tokens_per_s",
+) -> tuple[int, EvalOutcome] | None:
+    """Best feasible (batch, outcome) over the candidates, or ``None``.
+
+    The paper's "maximum throughput" points adopt the largest-``metric``
+    feasible batch per system, which with offloading is usually — but not
+    always — the largest feasible batch.
+    """
+    points = [
+        SweepPoint.evaluate(policy, config, batch, server)
+        for batch in batch_candidates
+    ]
+    best: tuple[int, EvalOutcome] | None = None
+    for batch, outcome in zip(batch_candidates, default_sweep().run(points)):
+        if not outcome.feasible:
+            continue
+        if best is None or getattr(outcome, metric) > getattr(best[1], metric):
+            best = (batch, outcome)
+    return best
+
+
+def is_failed(value: float) -> bool:
+    """True for the NaN failure marker."""
+    return isinstance(value, float) and math.isnan(value)
+
+
+# -- deprecated shims ----------------------------------------------------------
+
+
 def throughput_tokens_per_s(
     policy: OffloadPolicy, config, batch_size: int, server: ServerSpec
 ) -> float:
-    """Tokens/s for one configuration, or NaN when it does not fit."""
-    profile = profile_model(config, batch_size)
-    try:
-        return policy.simulate(profile, server).tokens_per_s
-    except InfeasibleError:
-        return FAILED
+    """Tokens/s for one configuration, or NaN when it does not fit.
+
+    .. deprecated:: use :func:`evaluate_point` (or
+       :meth:`OffloadPolicy.evaluate`) and read ``tokens_per_s`` off the
+       outcome.
+    """
+    warnings.warn(
+        "throughput_tokens_per_s is deprecated; use evaluate_point(...).tokens_per_s",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    outcome = evaluate_point(policy, config, batch_size, server)
+    return outcome.tokens_per_s if outcome.feasible else FAILED
 
 
 def best_throughput(
@@ -30,23 +109,15 @@ def best_throughput(
     server: ServerSpec,
     batch_candidates: tuple[int, ...],
 ):
-    """Best feasible (batch, IterationResult) over the candidates, or None.
+    """Best feasible (batch, outcome) over the candidates, or None.
 
-    The paper's "maximum throughput" points adopt the largest-throughput
-    feasible batch per system, which with offloading is usually — but not
-    always — the largest feasible batch.
+    .. deprecated:: use :func:`best_feasible` (same contract; the second
+       element is an :class:`EvalOutcome` rather than an
+       ``IterationResult``, with the same metric attributes).
     """
-    best = None
-    for batch in batch_candidates:
-        profile = profile_model(config, batch)
-        if not policy.feasible(profile, server):
-            continue
-        result = policy.simulate(profile, server, check=False)
-        if best is None or result.tokens_per_s > best[1].tokens_per_s:
-            best = (batch, result)
-    return best
-
-
-def is_failed(value: float) -> bool:
-    """True for the NaN failure marker."""
-    return isinstance(value, float) and math.isnan(value)
+    warnings.warn(
+        "best_throughput is deprecated; use best_feasible",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return best_feasible(policy, config, server, batch_candidates)

@@ -15,7 +15,9 @@ from dataclasses import replace
 from repro.analysis.report import ExperimentResult
 from repro.core import RatelPolicy
 from repro.hardware import GB, evaluation_server
-from repro.models import llm, profile_model
+from repro.models import llm
+
+from .common import evaluate_point
 
 SEQ_SWEEP = (512, 1024, 2048, 4096)
 
@@ -39,17 +41,16 @@ def run(model_name: str = "13B", tokens_per_iteration: int = 32768) -> Experimen
         if batch < 1:
             continue
         config = replace(base, name=f"{model_name}-s{seq_len}", seq_len=seq_len)
-        profile = profile_model(config, batch)
-        if not ratel.feasible(profile, server):
+        outcome = evaluate_point(ratel, config, batch, server)
+        if not outcome.feasible:
             result.add_row(seq_len, batch, float("nan"), float("nan"), float("nan"), "-")
             continue
-        plan = ratel.plan(profile, server)
-        sim = ratel.simulate(profile, server)
+        plan = outcome.plan
         result.add_row(
             seq_len,
             batch,
-            sim.tokens_per_s,
-            sim.achieved_tflops,
+            outcome.tokens_per_s,
+            outcome.achieved_tflops,
             plan.a_g2m / GB,
             "yes" if "attn_ctx" in plan.swapped else "no",
         )

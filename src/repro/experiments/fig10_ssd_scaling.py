@@ -17,9 +17,10 @@ from repro.analysis.report import ExperimentResult
 from repro.baselines import ZeroInfinityPolicy
 from repro.core import RatelPolicy
 from repro.hardware import evaluation_server
-from repro.models import llm, profile_model
+from repro.models import llm
+from repro.runner import SweepPoint
 
-from .common import FAILED, best_throughput
+from .common import FAILED, best_feasible, evaluate_grid
 
 SSD_SWEEP = (1, 2, 3, 6, 12)
 BATCHES_135B = (4, 8, 16, 32)
@@ -39,7 +40,7 @@ def run_fig10a() -> ExperimentResult:
         server = evaluation_server(n_ssds=n_ssds)
         row: list = [n_ssds]
         for policy in systems:
-            best = best_throughput(policy, config, server, BATCHES_135B)
+            best = best_feasible(policy, config, server, BATCHES_135B)
             row.append(best[1].tokens_per_s if best else FAILED)
         result.add_row(*row)
     result.note("paper: Ratel scales near-linearly to 3 SSDs, flattens past 6")
@@ -55,16 +56,19 @@ def run_fig10b() -> ExperimentResult:
         title="Ratel 13B achieved TFLOPS vs number of SSDs, RTX 4090",
         columns=["n_ssds"] + [f"bsz={batch}" for batch in BATCHES_13B],
     )
-    for n_ssds in SSD_SWEEP:
-        server = evaluation_server(n_ssds=n_ssds)
-        row: list = [n_ssds]
-        for batch in BATCHES_13B:
-            profile = profile_model(config, batch)
-            if not policy.feasible(profile, server):
-                row.append(FAILED)
-                continue
-            row.append(policy.simulate(profile, server).achieved_tflops)
-        result.add_row(*row)
+    points = [
+        SweepPoint.evaluate(policy, config, batch, evaluation_server(n_ssds=n_ssds))
+        for n_ssds in SSD_SWEEP
+        for batch in BATCHES_13B
+    ]
+    outcomes = evaluate_grid(points)
+    per_row = len(BATCHES_13B)
+    for row_index, n_ssds in enumerate(SSD_SWEEP):
+        row = outcomes[row_index * per_row : (row_index + 1) * per_row]
+        result.add_row(
+            n_ssds,
+            *(o.achieved_tflops if o.feasible else FAILED for o in row),
+        )
     result.note("paper: larger batches reach peak TFLOPS with fewer SSDs")
     return result
 

@@ -13,12 +13,11 @@ from __future__ import annotations
 from repro.analysis.report import ExperimentResult
 from repro.baselines import ZeroInfinityPolicy
 from repro.core import RatelPolicy
-from repro.core.memory_model import InfeasibleError
-from repro.core.multi_gpu import run_data_parallel
 from repro.hardware import evaluation_server
 from repro.models import llm
+from repro.runner import SweepPoint
 
-from .common import FAILED
+from .common import FAILED, evaluate_grid
 
 PANELS = (
     ("fig11a", "13B", 2, (16, 32, 64, 128, 256)),
@@ -38,14 +37,18 @@ def run_panel(experiment: str, model_name: str, n_gpus: int, batches) -> Experim
         title=f"{model_name} on {n_gpus}x RTX 4090: global throughput (token/s)",
         columns=["global_batch"] + [policy.name for policy in systems],
     )
-    for batch in batches:
-        row: list = [batch]
-        for policy in systems:
-            try:
-                row.append(run_data_parallel(policy, config, batch, server).tokens_per_s)
-            except InfeasibleError:
-                row.append(FAILED)
-        result.add_row(*row)
+    points = [
+        SweepPoint.data_parallel(policy, config, batch, server)
+        for batch in batches
+        for policy in systems
+    ]
+    outcomes = evaluate_grid(points)
+    for row_index, batch in enumerate(batches):
+        row = outcomes[row_index * len(systems) : (row_index + 1) * len(systems)]
+        result.add_row(
+            batch,
+            *(o.tokens_per_s if o.feasible else FAILED for o in row),
+        )
     result.note("paper: Ratel 2.21x (13B) / 1.69x (70B) over ZeRO-Infinity on 4 GPUs")
     return result
 

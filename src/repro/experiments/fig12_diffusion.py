@@ -14,9 +14,9 @@ from repro.analysis.report import ExperimentResult
 from repro.baselines import FastDiTPolicy
 from repro.core import RatelPolicy
 from repro.hardware import evaluation_server
-from repro.models import DIT_PRESETS, profile_model
+from repro.models import DIT_PRESETS
 
-from .common import FAILED
+from .common import FAILED, best_feasible
 
 BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
 
@@ -33,14 +33,7 @@ def run() -> ExperimentResult:
     for name, config in DIT_PRESETS.items():
         row: list = [name]
         for policy in systems:
-            best = None
-            for batch in BATCHES:
-                profile = profile_model(config, batch)
-                if not policy.feasible(profile, server):
-                    continue
-                res = policy.simulate(profile, server, check=False)
-                if best is None or res.samples_per_s > best[1].samples_per_s:
-                    best = (batch, res)
+            best = best_feasible(policy, config, server, BATCHES, metric="samples_per_s")
             if best is None:
                 row.extend([FAILED, "OOM"])
             else:

@@ -16,12 +16,10 @@ from repro.analysis.cost import cost_effectiveness
 from repro.analysis.report import ExperimentResult
 from repro.baselines import MegatronPolicy
 from repro.core import RatelPolicy
-from repro.core.memory_model import InfeasibleError
-from repro.core.multi_gpu import max_global_batch, run_data_parallel
 from repro.hardware import DGX_A100, evaluation_server
-from repro.models import llm, profile_model
+from repro.models import llm
 
-from .common import FAILED
+from .common import FAILED, best_feasible, default_sweep
 
 SSD_SWEEP = (1, 2, 3, 6, 12)
 MEGATRON_BATCHES = (8, 16, 32, 64)
@@ -37,14 +35,11 @@ def run() -> ExperimentResult:
     """Token/s per $1k for Ratel (by SSD count) and the DGX baseline."""
     config = llm("30B")
     megatron = MegatronPolicy()
-    best_dgx = 0.0
-    for batch in MEGATRON_BATCHES:
-        profile = profile_model(config, batch)
-        if not megatron.feasible(profile, DGX_A100):
-            continue
-        best_dgx = max(best_dgx, megatron.simulate(profile, DGX_A100).tokens_per_s)
+    best = best_feasible(megatron, config, DGX_A100, MEGATRON_BATCHES)
+    best_dgx = best[1].tokens_per_s if best else 0.0
     dgx_point = cost_effectiveness("Megatron-LM", DGX_A100, best_dgx)
 
+    sweep = default_sweep()
     ratel = RatelPolicy()
     result = ExperimentResult(
         experiment="fig13",
@@ -54,17 +49,16 @@ def run() -> ExperimentResult:
     for n_ssds in SSD_SWEEP:
         server = evaluation_server(n_gpus=4, n_ssds=n_ssds)
         batch = min(
-            RATEL_GLOBAL_BATCH, max_global_batch(ratel, config, server) or 0
+            RATEL_GLOBAL_BATCH, sweep.max_global_batch(ratel, config, server) or 0
         )
         if batch == 0:
             result.add_row(n_ssds, FAILED, dgx_point.tokens_per_s_per_kusd, FAILED)
             continue
-        try:
-            run = run_data_parallel(ratel, config, batch, server)
-        except InfeasibleError:
+        outcome = sweep.data_parallel(ratel, config, batch, server)
+        if not outcome.feasible:
             result.add_row(n_ssds, FAILED, dgx_point.tokens_per_s_per_kusd, FAILED)
             continue
-        point = cost_effectiveness(ratel.name, server, run.tokens_per_s)
+        point = cost_effectiveness(ratel.name, server, outcome.tokens_per_s)
         result.add_row(
             n_ssds,
             point.tokens_per_s_per_kusd,

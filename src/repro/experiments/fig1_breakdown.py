@@ -15,12 +15,14 @@ from repro.analysis.report import ExperimentResult
 from repro.baselines import G10Policy, ZeroInfinityPolicy
 from repro.core import RatelPolicy
 from repro.hardware import EVALUATION_SERVER
-from repro.models import llm, profile_model
+from repro.models import llm
+
+from .common import evaluate_point
 
 
 def run(batch_size: int = 32) -> ExperimentResult:
     """Reproduce the Fig. 1 comparison table."""
-    profile = profile_model(llm("13B"), batch_size)
+    config = llm("13B")
     systems = [
         ZeroInfinityPolicy(),
         G10Policy(assume_gpudirect=True),
@@ -44,7 +46,7 @@ def run(batch_size: int = 32) -> ExperimentResult:
         ],
     )
     for policy in systems:
-        res = policy.simulate(profile, EVALUATION_SERVER)
+        res = evaluate_point(policy, config, batch_size, EVALUATION_SERVER)
         result.add_row(
             policy.name,
             res.forward_time,

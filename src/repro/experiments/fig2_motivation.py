@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from repro.analysis.report import ExperimentResult
 from repro.baselines import ColossalAIPolicy, FlashNeuronPolicy, ZeroInfinityPolicy
-from repro.core import max_trainable_params
-from repro.core.memory_model import InfeasibleError
 from repro.hardware import GiB, evaluation_server
-from repro.models import llm, profile_model
+from repro.models import llm
+from repro.runner import SweepPoint
+
+from .common import FAILED, evaluate_grid, evaluate_point
 
 MAIN_MEMORY_SWEEP_GB = (128, 256, 384, 512, 640, 768)
 BATCH_SWEEP = (8, 16, 32, 64)
@@ -30,12 +31,15 @@ def run_fig2a() -> ExperimentResult:
         title="Largest trainable model (B params) vs main memory, batch 1, RTX 4090",
         columns=["main_GB"] + [policy.name for policy in policies],
     )
-    for mem_gb in MAIN_MEMORY_SWEEP_GB:
-        server = evaluation_server(main_memory_bytes=mem_gb * GiB)
-        result.add_row(
-            mem_gb,
-            *(max_trainable_params(policy, server) / 1e9 for policy in policies),
-        )
+    points = [
+        SweepPoint.max_trainable(policy, evaluation_server(main_memory_bytes=mem_gb * GiB))
+        for mem_gb in MAIN_MEMORY_SWEEP_GB
+        for policy in policies
+    ]
+    sizes = evaluate_grid(points)
+    for row_index, mem_gb in enumerate(MAIN_MEMORY_SWEEP_GB):
+        row = sizes[row_index * len(policies) : (row_index + 1) * len(policies)]
+        result.add_row(mem_gb, *(size / 1e9 for size in row))
     result.note("paper: FlashNeuron flat at 1.55B; ZeRO-Infinity <= 135B at 768 GB")
     return result
 
@@ -76,13 +80,8 @@ def _zero_infinity_sweep(experiment, title, metric, note) -> ExperimentResult:
     for batch in BATCH_SWEEP:
         row = [batch]
         for name in MODELS:
-            profile = profile_model(llm(name), batch)
-            try:
-                res = policy.simulate(profile, server)
-            except InfeasibleError:
-                row.append(float("nan"))
-                continue
-            row.append(metric(res))
+            outcome = evaluate_point(policy, llm(name), batch, server)
+            row.append(metric(outcome) if outcome.feasible else FAILED)
         result.add_row(*row)
     result.note(note)
     return result

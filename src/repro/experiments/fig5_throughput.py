@@ -8,6 +8,10 @@
 Paper anchors: Ratel beats ZeRO-Offload / ZeRO-Infinity / Colossal-AI by
 2.32x / 3.46x / 8.02x on 13B+4090; 90-95% of peak FLOPS below 70B and
 ~53% at 175B; FlashNeuron cannot run 13B at all.
+
+All points go through the shared :mod:`repro.runner` sweep: the
+(policy, batch) grids fan out as one ordered sweep per panel and are
+served from the cache on re-runs.
 """
 
 from __future__ import annotations
@@ -21,8 +25,9 @@ from repro.baselines import (
 from repro.core import RatelPolicy
 from repro.hardware import RTX_3090, RTX_4090, TFLOPS, evaluation_server
 from repro.models import llm
+from repro.runner import SweepPoint
 
-from .common import FAILED, best_throughput, throughput_tokens_per_s
+from .common import FAILED, best_feasible, evaluate_grid
 
 POLICIES = (
     ColossalAIPolicy(),
@@ -60,7 +65,7 @@ def run_fig5c() -> ExperimentResult:
         config = llm(name)
         row = [name]
         for policy in systems:
-            best = best_throughput(policy, config, server, BATCHES_4090)
+            best = best_feasible(policy, config, server, BATCHES_4090)
             row.append(best[1].achieved_tflops if best else FAILED)
         row.append(peak)
         result.add_row(*row)
@@ -73,21 +78,34 @@ def run() -> list[ExperimentResult]:
     return [run_fig5a(), run_fig5b(), run_fig5c()]
 
 
-def _batch_sweep(experiment: str, gpu, batches) -> ExperimentResult:
+def sweep_points(gpu=RTX_4090, batches=BATCHES_4090) -> list[SweepPoint]:
+    """The (policy x batch) evaluation grid behind one Fig. 5 panel.
+
+    Exposed for the runner benchmark, which times this exact grid
+    sequentially, in parallel and from a warm cache.
+    """
     server = evaluation_server(gpu=gpu)
     config = llm("13B")
+    return [
+        SweepPoint.evaluate(policy, config, batch, server)
+        for batch in batches
+        for policy in POLICIES
+    ]
+
+
+def _batch_sweep(experiment: str, gpu, batches) -> ExperimentResult:
     result = ExperimentResult(
         experiment=experiment,
         title=f"13B throughput (token/s) vs batch size on {gpu.name}",
         columns=["batch"] + [policy.name for policy in POLICIES],
     )
-    for batch in batches:
+    outcomes = evaluate_grid(sweep_points(gpu, batches))
+    per_batch = len(POLICIES)
+    for row_index, batch in enumerate(batches):
+        row = outcomes[row_index * per_batch : (row_index + 1) * per_batch]
         result.add_row(
             batch,
-            *(
-                throughput_tokens_per_s(policy, config, batch, server)
-                for policy in POLICIES
-            ),
+            *(o.tokens_per_s if o.feasible else FAILED for o in row),
         )
     result.note("FlashNeuron is absent: it cannot hold 13B of model states in GPU memory")
     return result

@@ -14,8 +14,11 @@ from repro.baselines import (
     ZeroInfinityPolicy,
     ZeroOffloadPolicy,
 )
-from repro.core import RatelPolicy, max_trainable_params
+from repro.core import RatelPolicy
 from repro.hardware import GiB, RTX_4080, RTX_4090, evaluation_server
+from repro.runner import SweepPoint
+
+from .common import evaluate_grid
 
 POLICIES = (
     FlashNeuronPolicy(),
@@ -48,11 +51,16 @@ def _sweep(experiment: str, gpu, label: str) -> ExperimentResult:
         title=f"Max trainable model size (B params) vs main memory on {label}",
         columns=["main_GB"] + [policy.name for policy in POLICIES],
     )
-    for mem_gb in MAIN_MEMORY_SWEEP_GB:
-        server = evaluation_server(gpu=gpu, main_memory_bytes=mem_gb * GiB)
-        result.add_row(
-            mem_gb,
-            *(max_trainable_params(policy, server) / 1e9 for policy in POLICIES),
+    points = [
+        SweepPoint.max_trainable(
+            policy, evaluation_server(gpu=gpu, main_memory_bytes=mem_gb * GiB)
         )
+        for mem_gb in MAIN_MEMORY_SWEEP_GB
+        for policy in POLICIES
+    ]
+    sizes = evaluate_grid(points)
+    for row_index, mem_gb in enumerate(MAIN_MEMORY_SWEEP_GB):
+        row = sizes[row_index * len(POLICIES) : (row_index + 1) * len(POLICIES)]
+        result.add_row(mem_gb, *(size / 1e9 for size in row))
     result.note("paper: Ratel 276B at 768 GB (4090), 175B at 256 GB even on the 4080")
     return result

@@ -18,8 +18,9 @@ from repro.analysis.report import ExperimentResult
 from repro.core import RatelPolicy
 from repro.hardware import evaluation_server
 from repro.models import llm
+from repro.runner import SweepPoint
 
-from .common import throughput_tokens_per_s
+from .common import FAILED, evaluate_grid
 
 VARIANTS = ("zero", "naive", "optimized")
 LABELS = {"zero": "Ratel+ZeRO", "naive": "Ratel Naive", "optimized": "Ratel Optimized"}
@@ -48,13 +49,17 @@ def _sweep(experiment: str, model_name: str, batches) -> ExperimentResult:
         title=f"Gradient-offloading ablation, {model_name} model, RTX 4090 (token/s)",
         columns=["batch"] + [LABELS[variant] for variant in VARIANTS],
     )
-    for batch in batches:
+    points = [
+        SweepPoint.evaluate(RatelPolicy(variant), config, batch, server)
+        for batch in batches
+        for variant in VARIANTS
+    ]
+    outcomes = evaluate_grid(points)
+    for row_index, batch in enumerate(batches):
+        row = outcomes[row_index * len(VARIANTS) : (row_index + 1) * len(VARIANTS)]
         result.add_row(
             batch,
-            *(
-                throughput_tokens_per_s(RatelPolicy(variant), config, batch, server)
-                for variant in VARIANTS
-            ),
+            *(o.tokens_per_s if o.feasible else FAILED for o in row),
         )
     result.note("paper: optimized = 1.22x naive and 1.33x Ratel+ZeRO at 13B/batch 64")
     return result

@@ -12,8 +12,11 @@ becomes the binding constraint.
 from __future__ import annotations
 
 from repro.analysis.report import ExperimentResult
-from repro.core import RatelPolicy, max_trainable_params
+from repro.core import RatelPolicy
 from repro.hardware import GiB, evaluation_server
+from repro.runner import SweepPoint
+
+from .common import evaluate_grid
 
 BATCHES = (12, 24, 36, 60)
 
@@ -28,9 +31,15 @@ def run_panel(mem_gb: int) -> ExperimentResult:
         title=f"Max trainable size (B params) vs batch, {mem_gb} GB main memory, RTX 4090",
         columns=["batch", "Ratel+CpuAct", "Ratel Optimized", "ratio"],
     )
-    for batch in BATCHES:
-        size_cpuact = max_trainable_params(cpuact, server, batch_size=batch) / 1e9
-        size_opt = max_trainable_params(optimized, server, batch_size=batch) / 1e9
+    points = [
+        SweepPoint.max_trainable(policy, server, batch_size=batch)
+        for batch in BATCHES
+        for policy in (cpuact, optimized)
+    ]
+    sizes = evaluate_grid(points)
+    for row_index, batch in enumerate(BATCHES):
+        size_cpuact = sizes[2 * row_index] / 1e9
+        size_opt = sizes[2 * row_index + 1] / 1e9
         ratio = size_opt / size_cpuact if size_cpuact > 0 else float("inf")
         result.add_row(batch, size_cpuact, size_opt, ratio)
     result.note("paper: SSD swapping trains 2x-5x larger models at 128 GB")

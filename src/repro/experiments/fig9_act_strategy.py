@@ -25,7 +25,6 @@ from repro.baselines import CapuchinPolicy, CheckmatePolicy, G10ActivationPolicy
 from repro.core import (
     IterationTimeModel,
     RatelPolicy,
-    max_batch_size,
     plan_activation_swapping,
     sweep_iteration_time,
 )
@@ -44,7 +43,7 @@ from repro.core.policy import OffloadPolicy
 from repro.hardware import GB, GiB, evaluation_server
 from repro.models import llm, profile_model
 
-from .common import FAILED
+from .common import FAILED, default_sweep, evaluate_point
 
 MEMORY_SWEEP_GB = (128, 256, 512)
 BATCH_CAP = 32
@@ -110,18 +109,19 @@ def run_fig9a() -> tuple[ExperimentResult, ExperimentResult]:
         title="Batch size adopted by each activation strategy (cap 32)",
         columns=["main_GB"] + [policy.name for policy in STRATEGIES],
     )
+    sweep = default_sweep()
     for mem_gb in MEMORY_SWEEP_GB:
         server = evaluation_server(main_memory_bytes=mem_gb * GiB)
         tput_row: list = [mem_gb]
         batch_row: list = [mem_gb]
         for policy in STRATEGIES:
-            batch = max_batch_size(policy, config, server, cap=BATCH_CAP)
+            batch = sweep.max_batch(policy, config, server, cap=BATCH_CAP)
             if batch == 0:
                 tput_row.append(FAILED)
                 batch_row.append("Failed")
                 continue
-            profile = profile_model(config, batch)
-            tput_row.append(policy.simulate(profile, server).tokens_per_s)
+            outcome = evaluate_point(policy, config, batch, server)
+            tput_row.append(outcome.tokens_per_s)
             batch_row.append(batch)
         throughput.add_row(*tput_row)
         batches.add_row(*batch_row)

@@ -21,12 +21,14 @@ from repro.analysis.report import ExperimentResult
 from repro.baselines import G10Policy, ZeroInfinityPolicy
 from repro.core import RatelPolicy
 from repro.hardware import EVALUATION_SERVER, GB
-from repro.models import llm, profile_model
+from repro.models import llm
+
+from .common import evaluate_point
 
 
 def run(batch_size: int = 32) -> ExperimentResult:
     """Bytes moved per link and class for ZeRO-Infinity / G10 / Ratel."""
-    profile = profile_model(llm("13B"), batch_size)
+    config = llm("13B")
     systems = [
         ZeroInfinityPolicy(),
         G10Policy(assume_gpudirect=True),
@@ -47,8 +49,10 @@ def run(batch_size: int = 32) -> ExperimentResult:
         ],
     )
     for policy in systems:
-        res = policy.simulate(profile, EVALUATION_SERVER)
-        trace = res.trace
+        # Byte accounting needs the event trace, so ask for a live result
+        # (detail=True recomputes if the cache hit was metrics-only).
+        outcome = evaluate_point(policy, config, batch_size, EVALUATION_SERVER, detail=True)
+        trace = outcome.require_result().trace
         result.add_row(
             policy.name,
             trace.moved("pcie_g2m0", label_prefix="act_out") / GB,

@@ -9,6 +9,7 @@ holistic swapping manager (§IV-D) chooses among.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Iterator, Union
 
@@ -163,8 +164,15 @@ class ModelProfile:
         return [embed] + flat
 
 
+@functools.lru_cache(maxsize=512)
 def profile_model(config: ModelConfig, batch_size: int) -> ModelProfile:
-    """Build the :class:`ModelProfile` for ``config`` at ``batch_size``."""
+    """Build the :class:`ModelProfile` for ``config`` at ``batch_size``.
+
+    Profiles are memoized: configs are frozen dataclasses and the profile
+    is immutable, so every (config, batch) pair maps to one shared
+    instance — sweeps that split feasibility and simulation no longer
+    profile the same model twice.
+    """
     if isinstance(config, TransformerConfig):
         block = gpt_block_profile(config, batch_size)
     elif isinstance(config, DiTConfig):

@@ -1,0 +1,70 @@
+"""Deterministic content keys for sweep memoization.
+
+A cache key must identify everything that can change an evaluation's
+outcome: the policy (class plus its public constructor state, e.g. the
+Ratel variant or G10's GPUDirect assumption), the model configuration,
+the batch size and the full server spec.  Everything is canonicalised
+into a JSON document with sorted keys and hashed; two processes — or two
+runs a week apart — produce the same key for the same point.
+
+Floats are rendered with ``repr`` (shortest round-trip form), so keys are
+exact: a server with 128.0 GB and one with 128.00000001 GB never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+class CacheKeyError(TypeError):
+    """Raised when a sweep point contains something non-canonicalisable."""
+
+
+def describe(obj: Any) -> Any:
+    """Canonical JSON-able description of one key component."""
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        doc = {
+            field.name: describe(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        doc["__type__"] = type(obj).__name__
+        return doc
+    if isinstance(obj, (list, tuple)):
+        return [describe(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): describe(value) for key, value in sorted(obj.items())}
+    # Policies (and other plain objects): class identity + public state.
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        doc = {
+            key: describe(value)
+            for key, value in sorted(state.items())
+            if not key.startswith("_")
+        }
+        doc["__class__"] = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        return doc
+    raise CacheKeyError(f"cannot canonicalise {type(obj).__name__!r} for a cache key")
+
+
+def cache_key(kind: str, **components: Any) -> str:
+    """SHA-256 content key over ``kind`` plus named components.
+
+    ``kind`` names the query ("evaluate", "max_trainable", ...); the
+    components are whatever that query depends on.  Deterministic across
+    processes and sessions.
+    """
+    document = {"kind": kind}
+    for name, value in components.items():
+        document[name] = describe(value)
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

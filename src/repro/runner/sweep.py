@@ -1,0 +1,473 @@
+"""The sweep orchestrator: cached, fan-out evaluation of grids of points.
+
+:class:`Sweep` is the single entry point the experiment harnesses, the
+benchmarks and the CLI evaluate configurations through.  A sweep *point*
+is a memoizable query against the planning/simulation stack:
+
+* ``evaluate``       — feasibility + Algorithm-1 plan + one simulated
+  iteration for (policy, model config, batch, server);
+* ``max_trainable``  — the capacity planner's largest trainable size;
+* ``max_batch``      — the largest feasible batch among candidates;
+* ``max_global_batch`` / ``data_parallel`` — the multi-GPU analogues.
+
+Every point has a deterministic content key
+(:func:`repro.runner.keys.cache_key`); results are memoized in a
+two-layer :class:`~repro.runner.cache.ResultCache` and grids fan out
+across a ``concurrent.futures`` pool with ordered result collection and
+a progress hook.  Process workers return the JSON payload (the full
+event trace stays in the worker); serial and thread execution keep live
+:class:`~repro.core.engine.IterationResult` objects in the memory layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.capacity import max_batch_size, max_trainable_params
+from repro.core.evaluation import EvalOutcome
+from repro.core.memory_model import InfeasibleError
+from repro.core.multi_gpu import max_global_batch, run_data_parallel
+from repro.core.policy import OffloadPolicy
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import profile_model
+
+from .cache import DISK, ResultCache
+from .keys import cache_key
+
+logger = logging.getLogger("repro.runner")
+
+#: Executor modes accepted by :class:`Sweep`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+class SweepError(ValueError):
+    """Raised for malformed sweep points or executor configuration."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One memoizable query against the planning/simulation stack."""
+
+    kind: str
+    policy: OffloadPolicy
+    server: ServerSpec
+    config: Any = None
+    batch_size: int | None = None
+    simulate_infeasible: bool = False
+    cap: int | None = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def evaluate(
+        cls,
+        policy: OffloadPolicy,
+        config: Any,
+        batch_size: int,
+        server: ServerSpec,
+        *,
+        simulate_infeasible: bool = False,
+    ) -> "SweepPoint":
+        """Plan + simulate one (policy, model, batch, server) point."""
+        return cls(
+            kind="evaluate",
+            policy=policy,
+            config=config,
+            batch_size=batch_size,
+            server=server,
+            simulate_infeasible=simulate_infeasible,
+        )
+
+    @classmethod
+    def max_trainable(
+        cls, policy: OffloadPolicy, server: ServerSpec, *, batch_size: int = 1
+    ) -> "SweepPoint":
+        """Largest trainable parameter count on this server."""
+        return cls(kind="max_trainable", policy=policy, server=server, batch_size=batch_size)
+
+    @classmethod
+    def max_batch(
+        cls, policy: OffloadPolicy, config: Any, server: ServerSpec, *, cap: int | None = None
+    ) -> "SweepPoint":
+        """Largest feasible batch size (optionally capped)."""
+        return cls(kind="max_batch", policy=policy, config=config, server=server, cap=cap)
+
+    @classmethod
+    def max_global_batch(
+        cls, policy: OffloadPolicy, config: Any, server: ServerSpec
+    ) -> "SweepPoint":
+        """Largest feasible data-parallel global batch."""
+        return cls(kind="max_global_batch", policy=policy, config=config, server=server)
+
+    @classmethod
+    def data_parallel(
+        cls, policy: OffloadPolicy, config: Any, global_batch: int, server: ServerSpec
+    ) -> "SweepPoint":
+        """One simulated data-parallel iteration at a global batch."""
+        return cls(
+            kind="data_parallel",
+            policy=policy,
+            config=config,
+            batch_size=global_batch,
+            server=server,
+        )
+
+    # -- identity --------------------------------------------------------------
+
+    def key(self) -> str:
+        """Deterministic content key for this point."""
+        return cache_key(
+            self.kind,
+            policy=self.policy,
+            server=self.server,
+            config=self.config,
+            batch_size=self.batch_size,
+            simulate_infeasible=self.simulate_infeasible,
+            cap=self.cap,
+        )
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        model = getattr(self.config, "name", "-")
+        batch = self.batch_size if self.batch_size is not None else "-"
+        return f"{self.kind}:{self.policy.name}/{model}/b{batch}@{self.server.name}"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed point, reported through the progress hook."""
+
+    index: int
+    total: int
+    label: str
+    cached: bool
+    elapsed_s: float
+    value: Any
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+def compute_point(point: SweepPoint) -> Any:
+    """Compute one point from scratch (no caching) and return its value."""
+    if point.kind == "evaluate":
+        profile = profile_model(point.config, point.batch_size)
+        return point.policy.evaluate(
+            profile, point.server, simulate_infeasible=point.simulate_infeasible
+        )
+    if point.kind == "max_trainable":
+        return max_trainable_params(
+            point.policy, point.server, batch_size=point.batch_size or 1
+        )
+    if point.kind == "max_batch":
+        return max_batch_size(point.policy, point.config, point.server, cap=point.cap)
+    if point.kind == "max_global_batch":
+        return max_global_batch(point.policy, point.config, point.server)
+    if point.kind == "data_parallel":
+        return _compute_data_parallel(point)
+    raise SweepError(f"unknown sweep point kind {point.kind!r}")
+
+
+def _compute_data_parallel(point: SweepPoint) -> EvalOutcome:
+    """Data-parallel evaluation as an :class:`EvalOutcome` (no exceptions)."""
+    try:
+        run = run_data_parallel(point.policy, point.config, point.batch_size, point.server)
+    except InfeasibleError as exc:
+        return EvalOutcome(
+            policy=point.policy.name,
+            model=point.config.name,
+            batch_size=point.batch_size,
+            server=point.server.name,
+            feasible=False,
+            reason=str(exc),
+        )
+    return EvalOutcome(
+        policy=point.policy.name,
+        model=point.config.name,
+        batch_size=point.batch_size,
+        server=point.server.name,
+        feasible=True,
+        metrics={
+            "iteration_time": run.iteration_time,
+            "tokens_per_s": run.tokens_per_s,
+            "n_gpus": run.n_gpus,
+        },
+        result=run,
+    )
+
+
+def _encode(value: Any) -> dict[str, Any]:
+    """JSON payload envelope for a computed point value."""
+    if isinstance(value, EvalOutcome):
+        return {"type": "outcome", "value": value.to_payload()}
+    return {"type": "scalar", "value": value}
+
+
+def _decode(envelope: dict[str, Any]) -> Any:
+    """Rebuild a point value from its payload envelope."""
+    if envelope.get("type") == "outcome":
+        return EvalOutcome.from_payload(envelope["value"])
+    return envelope.get("value")
+
+
+def _pool_compute(point: SweepPoint) -> dict[str, Any]:
+    """Process-pool worker: compute and return the serialisable envelope."""
+    return _encode(compute_point(point))
+
+
+@dataclass
+class Sweep:
+    """Cached, optionally parallel evaluation over grids of sweep points.
+
+    ``executor`` picks the default fan-out mode for :meth:`run`:
+    ``"serial"`` (in-process, keeps live traces), ``"thread"`` (shares
+    the cache across a thread pool) or ``"process"`` (a
+    ``ProcessPoolExecutor``; workers return metric payloads).
+    ``cache_dir`` turns on the on-disk JSON store (conventionally
+    ``.repro_cache/``).  ``progress`` receives a
+    :class:`ProgressEvent` per completed point.
+    """
+
+    executor: str = "serial"
+    max_workers: int | None = None
+    cache: ResultCache = None  # type: ignore[assignment]
+    cache_dir: str | None = None
+    progress: ProgressHook | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise SweepError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.cache is None:
+            self.cache = ResultCache(disk_dir=self.cache_dir)
+
+    @property
+    def stats(self):
+        """Hit/miss counters of the underlying cache."""
+        return self.cache.stats
+
+    # -- single-point API ------------------------------------------------------
+
+    def evaluate(
+        self,
+        policy: OffloadPolicy,
+        config: Any,
+        batch_size: int,
+        server: ServerSpec,
+        *,
+        simulate_infeasible: bool = False,
+        detail: bool = False,
+    ) -> EvalOutcome:
+        """Cached rich evaluation of one point.
+
+        ``detail=True`` guarantees a live :class:`IterationResult` (with
+        the event trace) on the returned outcome, recomputing if the hit
+        came from the metrics-only disk layer.
+        """
+        point = SweepPoint.evaluate(
+            policy, config, batch_size, server, simulate_infeasible=simulate_infeasible
+        )
+        outcome = self.run_point(point)
+        if detail and isinstance(outcome, EvalOutcome) and outcome.result is None:
+            if outcome.feasible or simulate_infeasible:
+                outcome = compute_point(point)
+                self.cache.put(point.key(), outcome, _encode(outcome))
+        return outcome
+
+    def max_trainable(
+        self, policy: OffloadPolicy, server: ServerSpec, *, batch_size: int = 1
+    ) -> float:
+        """Cached largest trainable parameter count."""
+        return self.run_point(SweepPoint.max_trainable(policy, server, batch_size=batch_size))
+
+    def max_batch(
+        self, policy: OffloadPolicy, config: Any, server: ServerSpec, *, cap: int | None = None
+    ) -> int:
+        """Cached largest feasible batch size."""
+        return self.run_point(SweepPoint.max_batch(policy, config, server, cap=cap))
+
+    def max_global_batch(
+        self, policy: OffloadPolicy, config: Any, server: ServerSpec
+    ) -> int:
+        """Cached largest feasible data-parallel global batch."""
+        return self.run_point(SweepPoint.max_global_batch(policy, config, server))
+
+    def data_parallel(
+        self, policy: OffloadPolicy, config: Any, global_batch: int, server: ServerSpec
+    ) -> EvalOutcome:
+        """Cached data-parallel evaluation."""
+        return self.run_point(SweepPoint.data_parallel(policy, config, global_batch, server))
+
+    def run_point(self, point: SweepPoint) -> Any:
+        """Evaluate one point through the cache."""
+        key = point.key()
+        cached = self._lookup(key)
+        if cached is not _MISS:
+            return cached
+        started = time.perf_counter()
+        value = compute_point(point)
+        self.cache.put(key, value, _encode(value))
+        logger.debug(
+            "computed %s in %.3fs", point.label(), time.perf_counter() - started
+        )
+        return value
+
+    # -- grid API --------------------------------------------------------------
+
+    def run(
+        self,
+        points: Iterable[SweepPoint],
+        *,
+        executor: str | None = None,
+        max_workers: int | None = None,
+    ) -> list[Any]:
+        """Evaluate a grid of points; results are ordered like the input.
+
+        Cache hits are served without touching the pool; distinct points
+        that share a content key are computed once.  The progress hook
+        fires once per point, in completion order.
+        """
+        points = list(points)
+        mode = executor or self.executor
+        if mode not in EXECUTORS:
+            raise SweepError(f"unknown executor {mode!r}; choose from {EXECUTORS}")
+        total = len(points)
+        results: list[Any] = [None] * total
+        started = time.perf_counter()
+
+        pending: dict[str, list[int]] = {}
+        unique: dict[str, SweepPoint] = {}
+        for index, point in enumerate(points):
+            key = point.key()
+            if key in pending:  # duplicate of an already-missed point
+                pending[key].append(index)
+                continue
+            cached = self._lookup(key)
+            if cached is not _MISS:
+                results[index] = cached
+                self._report(index, total, point, cached=True, started=started, value=cached)
+            else:
+                pending[key] = [index]
+                unique[key] = point
+
+        if pending:
+            if mode == "serial" or len(unique) == 1:
+                self._drain_serial(pending, unique, results, total, started)
+            else:
+                self._drain_pool(mode, max_workers, pending, unique, results, total, started)
+
+        logger.info(
+            "sweep: %d points, %d computed, %d cache hits in %.2fs",
+            total,
+            len(unique),
+            total - sum(len(ix) for ix in pending.values()),
+            time.perf_counter() - started,
+        )
+        return results
+
+    # -- internals -------------------------------------------------------------
+
+    def _drain_serial(self, pending, unique, results, total, started) -> None:
+        for key, point in unique.items():
+            value = compute_point(point)
+            self.cache.put(key, value, _encode(value))
+            for index in pending[key]:
+                results[index] = value
+                self._report(index, total, point, cached=False, started=started, value=value)
+
+    def _drain_pool(self, mode, max_workers, pending, unique, results, total, started) -> None:
+        workers = max_workers or self.max_workers
+        pool: Executor
+        if mode == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+        with pool:
+            if mode == "process":
+                futures = {pool.submit(_pool_compute, unique[key]): key for key in unique}
+            else:
+                futures = {pool.submit(compute_point, unique[key]): key for key in unique}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    point = unique[key]
+                    value = future.result()
+                    if mode == "process":
+                        envelope = value
+                        value = _decode(envelope)
+                        self.cache.put(key, value, envelope)
+                    else:
+                        self.cache.put(key, value, _encode(value))
+                    for index in pending[key]:
+                        results[index] = value
+                        self._report(
+                            index, total, point, cached=False, started=started, value=value
+                        )
+
+    def _lookup(self, key: str) -> Any:
+        hit = self.cache.get(key)
+        if hit is None:
+            return _MISS
+        layer, stored = hit
+        if layer == DISK:
+            stored = _decode(stored)
+            self.cache.promote(key, stored)
+        if isinstance(stored, EvalOutcome):
+            # A copy, not in-place mutation: the stored outcome keeps
+            # cached=False, so the first (computed) return value is never
+            # retroactively re-flagged by a later hit on the same object.
+            stored = dataclasses.replace(stored, cached=True)
+        return stored
+
+    def _report(
+        self, index: int, total: int, point: SweepPoint, *, cached: bool, started: float, value: Any
+    ) -> None:
+        if self.progress is None:
+            return
+        self.progress(
+            ProgressEvent(
+                index=index,
+                total=total,
+                label=point.label(),
+                cached=cached,
+                elapsed_s=time.perf_counter() - started,
+                value=value,
+            )
+        )
+
+
+_MISS = object()
+
+_default_sweep: Sweep | None = None
+
+
+def default_sweep() -> Sweep:
+    """The process-wide sweep the experiment harnesses share.
+
+    In-memory cache only by default; :func:`configure` swaps in a sweep
+    with a disk store and/or a parallel executor (the CLI's
+    ``--jobs`` / ``--cache-dir`` flags do exactly that).
+    """
+    global _default_sweep
+    if _default_sweep is None:
+        _default_sweep = Sweep()
+    return _default_sweep
+
+
+def configure(**kwargs: Any) -> Sweep:
+    """Replace the shared default sweep (returns the new one)."""
+    global _default_sweep
+    _default_sweep = Sweep(**kwargs)
+    return _default_sweep
+
+
+def reset() -> None:
+    """Drop the shared default sweep (next use builds a fresh one)."""
+    global _default_sweep
+    _default_sweep = None

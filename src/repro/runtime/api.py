@@ -21,6 +21,7 @@ subsequent hooks and optimizer build against.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from dataclasses import dataclass
 
 from . import storage as st
@@ -44,7 +45,13 @@ class RatelContext:
     delayed_update: bool
 
 
-_current: list[RatelContext] = []
+# The ``ratel_init`` nesting stack.  A ContextVar (not a module-level
+# list) so concurrent use is safe: each thread / asyncio task sees its
+# own stack, and a context opened in one parallel-runner worker can
+# never leak into another.
+_current: contextvars.ContextVar[tuple[RatelContext, ...]] = contextvars.ContextVar(
+    "ratel_context_stack", default=()
+)
 
 
 @contextlib.contextmanager
@@ -82,48 +89,35 @@ def ratel_init(
         active_offload=active_offload,
         delayed_update=delayed_update,
     )
-    _current.append(context)
+    token = _current.set(_current.get() + (context,))
     try:
         yield context
     finally:
-        _current.pop()
+        _current.reset(token)
         manager.close()
 
 
 def current_context() -> RatelContext:
-    """The innermost active ``ratel_init`` context."""
-    if not _current:
+    """The innermost active ``ratel_init`` context.
+
+    Scoped to the current thread / task: a context opened elsewhere is
+    never visible here.
+    """
+    stack = _current.get()
+    if not stack:
         raise RatelAPIError("no active ratel_init() context")
-    return _current[-1]
+    return stack[-1]
 
 
 def ratel_hook(model: Module, blocks: list[Module] | None = None) -> RatelRuntime:
     """Inject Ratel's data-movement hooks into ``model`` (Fig. 4).
 
     Wraps the model's transformer blocks with checkpoint-and-offload
-    forwards.  Gradient handlers are installed by :class:`RatelOptimizer`
-    (they need the optimizer); call this first, then build the optimizer.
+    forwards via :meth:`RatelRuntime.from_context`.  Gradient handlers
+    are installed by :class:`RatelOptimizer` (they need the optimizer);
+    call this first, then build the optimizer.
     """
-    context = current_context()
-    runtime = RatelRuntime.__new__(RatelRuntime)
-    # Two-phase construction: the runtime wraps blocks now and receives
-    # its optimizer from RatelOptimizer below.
-    runtime.model = model
-    runtime.manager = context.manager
-    runtime.optimizer = None
-    runtime.checkpoint_tier = context.checkpoint_tier
-    runtime.active_offload = context.active_offload
-    runtime.delayed_update = context.delayed_update
-    runtime._pending_grads = []
-    runtime._suppress_handlers = False
-    runtime.step = 0
-    runtime.update_order = []
-    runtime._handlers_installed = False
-    target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
-    for index, block in enumerate(target_blocks):
-        runtime._wrap_block(block, index)
-    model._ratel_runtime = runtime
-    return runtime
+    return RatelRuntime.from_context(model, current_context(), blocks=blocks)
 
 
 class RatelOptimizer:

@@ -42,7 +42,7 @@ class RatelRuntime:
         self,
         model: Module,
         manager: st.StorageManager,
-        optimizer: CPUAdam,
+        optimizer: CPUAdam | None,
         *,
         blocks: list[Module] | None = None,
         checkpoint_tier: str = st.NVME,
@@ -77,7 +77,35 @@ class RatelRuntime:
         target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
         for index, block in enumerate(target_blocks):
             self._wrap_block(block, index)
-        self._install_gradient_handlers()
+        model._ratel_runtime = self
+        # Without an optimizer (the Fig.-4 ``ratel_hook`` stage) the
+        # gradient handlers stay un-armed; RatelOptimizer installs them
+        # once the out-of-core Adam exists.
+        if optimizer is not None:
+            self._install_gradient_handlers()
+
+    @classmethod
+    def from_context(
+        cls, model: Module, context, *, blocks: list[Module] | None = None
+    ) -> "RatelRuntime":
+        """Build a runtime from a :class:`~repro.runtime.api.RatelContext`.
+
+        This is the constructor behind the Fig.-4 ``ratel_hook`` call:
+        the storage hierarchy and offload settings come from the active
+        ``ratel_init`` context, and the optimizer slot is left empty for
+        :class:`~repro.runtime.api.RatelOptimizer` to fill.  The returned
+        object is fully initialised — every invariant the ordinary
+        constructor enforces holds here too.
+        """
+        return cls(
+            model,
+            context.manager,
+            None,
+            blocks=blocks,
+            checkpoint_tier=context.checkpoint_tier,
+            active_offload=context.active_offload,
+            delayed_update=context.delayed_update,
+        )
 
     # -- public API -------------------------------------------------------------
 
@@ -283,6 +311,10 @@ class RatelRuntime:
 
     def _consume_gradient(self, name: str, param: Tensor) -> None:
         """§IV-C handler: G16 to host, CPU Adam update, fresh P16 installed."""
+        if self.optimizer is None:
+            raise RuntimeError(
+                "runtime has no optimizer yet; build a RatelOptimizer before training"
+            )
         grad16 = param.grad.astype(np.float16).astype(np.float32)
         grad_name = f"{name}.grad.s{self.step}"
         stored = self.manager.put(grad_name, grad16, st.GPU, itemsize=2)

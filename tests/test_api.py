@@ -43,6 +43,42 @@ class TestRatelInit:
             assert os.path.isdir(spill_dir)
         assert not os.path.isdir(spill_dir)
 
+    def test_context_isolated_across_threads(self):
+        """The ContextVar stack is per-thread: a worker sees no context."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def probe():
+            try:
+                current_context()
+            except RatelAPIError:
+                return None
+            return current_context()
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            assert current_context() is ctx
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                assert pool.submit(probe).result() is None
+
+    def test_contexts_independent_per_thread(self):
+        """Two threads can hold different active contexts concurrently."""
+        import threading
+
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+                barrier.wait()  # both contexts are simultaneously active
+                seen[name] = current_context() is ctx
+                barrier.wait()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {0: True, 1: True}
+
 
 class TestFig4Workflow:
     def test_full_loop_runs_and_learns(self, rng):
@@ -72,6 +108,41 @@ class TestFig4Workflow:
             runtime_a = ratel_hook(model_a)
             with pytest.raises(RatelAPIError):
                 RatelOptimizer(model_b, runtime_a)
+
+
+class TestFromContext:
+    def test_hook_builds_via_from_context(self, rng):
+        """ratel_hook is sugar for RatelRuntime.from_context(...)."""
+        from repro.runtime import RatelRuntime
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            model = GPTModel(23, 16, 1, 2, 8, rng)
+            runtime = RatelRuntime.from_context(model, ctx)
+            assert model._ratel_runtime is runtime
+            assert runtime.optimizer is None
+            assert runtime.checkpoint_tier == ctx.checkpoint_tier
+            assert runtime.active_offload == ctx.active_offload
+
+    def test_gradient_before_optimizer_is_an_error(self, rng):
+        """A runtime built without an optimizer refuses gradient traffic."""
+        from repro.runtime import RatelRuntime
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            model = GPTModel(23, 16, 1, 2, 8, rng)
+            runtime = RatelRuntime.from_context(model, ctx)
+            name, param = next(iter(model.named_parameters()))
+            with pytest.raises(RuntimeError, match="no optimizer"):
+                runtime._consume_gradient(name, param)
+
+    def test_optimizer_attaches_to_from_context_runtime(self, rng):
+        """RatelOptimizer completes a from_context runtime for training."""
+        from repro.runtime import RatelRuntime
+
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=GB) as ctx:
+            model = GPTModel(23, 16, 1, 2, 8, rng)
+            runtime = RatelRuntime.from_context(model, ctx)
+            optimizer = RatelOptimizer(model, runtime, lr=1e-2)
+            assert runtime.optimizer is optimizer.cpu_adam
 
 
 class TestCostAnalysis:

@@ -63,15 +63,15 @@ class TestEngineCrossCheck:
     def test_ratio_direction_matches_fig7_engine_results(self):
         """Analytic opt-vs-deferred gain and the simulated Fig. 7 gain
         agree in direction and rough magnitude at batch 32."""
-        from repro.experiments.common import throughput_tokens_per_s
+        from repro.experiments.common import evaluate_point
 
         profile, hardware, t = timelines(32)
-        optimized = throughput_tokens_per_s(
+        optimized = evaluate_point(
             RatelPolicy("optimized"), llm("13B"), 32, EVALUATION_SERVER
-        )
-        zero = throughput_tokens_per_s(
+        ).tokens_per_s
+        zero = evaluate_point(
             RatelPolicy("zero"), llm("13B"), 32, EVALUATION_SERVER
-        )
+        ).tokens_per_s
         simulated_gain = optimized / zero
         assert simulated_gain > 1.1
         assert t.optimized_vs_deferred == pytest.approx(simulated_gain, rel=0.45)

@@ -1,0 +1,242 @@
+"""Tests for the sweep orchestration subsystem (:mod:`repro.runner`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import ZeroInfinityPolicy
+from repro.core import RatelPolicy
+from repro.core.evaluation import EvalOutcome
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+from repro.runner import (
+    CacheKeyError,
+    ProgressEvent,
+    ResultCache,
+    Sweep,
+    SweepPoint,
+    cache_key,
+    compute_point,
+)
+
+SERVER = evaluation_server()
+CONFIG = llm("13B")
+
+
+def grid(batches=(8, 16), policies=(ZeroInfinityPolicy(), RatelPolicy())):
+    return [
+        SweepPoint.evaluate(policy, CONFIG, batch, SERVER)
+        for batch in batches
+        for policy in policies
+    ]
+
+
+class TestCacheKeys:
+    def test_deterministic_across_instances(self):
+        """Fresh-but-equal policies/configs/servers produce the same key."""
+        a = SweepPoint.evaluate(RatelPolicy(), llm("13B"), 32, evaluation_server())
+        b = SweepPoint.evaluate(RatelPolicy(), llm("13B"), 32, evaluation_server())
+        assert a.key() == b.key()
+
+    def test_distinguishes_batch(self):
+        a = SweepPoint.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        b = SweepPoint.evaluate(RatelPolicy(), CONFIG, 16, SERVER)
+        assert a.key() != b.key()
+
+    def test_distinguishes_policy_variant(self):
+        a = SweepPoint.evaluate(RatelPolicy("optimized"), CONFIG, 32, SERVER)
+        b = SweepPoint.evaluate(RatelPolicy("naive"), CONFIG, 32, SERVER)
+        assert a.key() != b.key()
+
+    def test_distinguishes_server(self):
+        a = SweepPoint.evaluate(RatelPolicy(), CONFIG, 32, evaluation_server(n_ssds=12))
+        b = SweepPoint.evaluate(RatelPolicy(), CONFIG, 32, evaluation_server(n_ssds=6))
+        assert a.key() != b.key()
+
+    def test_distinguishes_kind(self):
+        a = SweepPoint.evaluate(RatelPolicy(), CONFIG, 1, SERVER)
+        b = SweepPoint.max_trainable(RatelPolicy(), SERVER)
+        assert a.key() != b.key()
+
+    def test_private_policy_state_excluded(self):
+        """Planner memo tables must not leak into the content key."""
+        policy = RatelPolicy()
+        before = SweepPoint.evaluate(policy, CONFIG, 32, SERVER).key()
+        policy.plan(profile_model(CONFIG, 32), SERVER)  # populates _plan_cache
+        after = SweepPoint.evaluate(policy, CONFIG, 32, SERVER).key()
+        assert before == after
+
+    def test_unserialisable_component_raises(self):
+        with pytest.raises(CacheKeyError):
+            cache_key("test", payload=object())
+
+
+class TestSweepCaching:
+    def test_hit_returns_identical_metrics(self):
+        sweep = Sweep()
+        first = sweep.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        second = sweep.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        assert not first.cached
+        assert second.cached
+        assert second.tokens_per_s == first.tokens_per_s
+        assert second.metrics == first.metrics
+        assert sweep.stats.hits == 1
+        assert sweep.stats.misses == 1
+
+    def test_duplicate_points_computed_once(self):
+        sweep = Sweep()
+        point = SweepPoint.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        results = sweep.run([point, point, point])
+        assert sweep.stats.misses == 1
+        assert results[0].tokens_per_s == results[1].tokens_per_s == results[2].tokens_per_s
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        first = Sweep(cache_dir=str(tmp_path))
+        outcome = first.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+
+        second = Sweep(cache_dir=str(tmp_path))
+        restored = second.evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        assert restored.cached
+        assert second.stats.disk_hits == 1
+        assert restored.tokens_per_s == outcome.tokens_per_s
+        assert restored.metrics == outcome.metrics
+        assert restored.result is None  # traces stay out of the JSON layer
+
+    def test_detail_restores_live_result(self, tmp_path):
+        Sweep(cache_dir=str(tmp_path)).evaluate(RatelPolicy(), CONFIG, 32, SERVER)
+        fresh = Sweep(cache_dir=str(tmp_path))
+        outcome = fresh.evaluate(RatelPolicy(), CONFIG, 32, SERVER, detail=True)
+        assert outcome.require_result().trace is not None
+
+    def test_scalar_points_cached(self):
+        sweep = Sweep()
+        a = sweep.max_trainable(RatelPolicy(), SERVER)
+        b = sweep.max_trainable(RatelPolicy(), SERVER)
+        assert a == b
+        assert sweep.stats.hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        sweep = Sweep(cache_dir=str(tmp_path))
+        point = SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER)
+        sweep.run_point(point)
+        for path in tmp_path.rglob("*.json"):
+            path.write_text("{not json")
+        fresh = Sweep(cache_dir=str(tmp_path))
+        outcome = fresh.run_point(point)
+        assert isinstance(outcome, EvalOutcome)
+        assert fresh.stats.disk_hits == 0
+
+
+class TestExecutorEquivalence:
+    def _values(self, outcomes):
+        return [
+            o.tokens_per_s if o.feasible else None for o in outcomes
+        ]
+
+    def test_process_pool_matches_serial(self):
+        serial = Sweep(executor="serial").run(grid())
+        parallel = Sweep(executor="process", max_workers=2).run(grid())
+        assert self._values(serial) == self._values(parallel)
+
+    def test_thread_pool_matches_serial(self):
+        serial = Sweep(executor="serial").run(grid())
+        threaded = Sweep(executor="thread", max_workers=2).run(grid())
+        assert self._values(serial) == self._values(threaded)
+
+    def test_results_ordered_like_input(self):
+        points = grid(batches=(8, 16, 32))
+        outcomes = Sweep(executor="process", max_workers=3).run(points)
+        for point, outcome in zip(points, outcomes):
+            assert outcome.policy == point.policy.name
+            assert outcome.batch_size == point.batch_size
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(executor="fork-bomb")
+
+
+class TestProgressHook:
+    def test_fires_once_per_point(self):
+        events: list[ProgressEvent] = []
+        sweep = Sweep(progress=events.append)
+        points = grid()
+        sweep.run(points)
+        assert len(events) == len(points)
+        assert {e.index for e in events} == set(range(len(points)))
+        assert all(e.total == len(points) for e in events)
+        assert not any(e.cached for e in events)
+
+    def test_cached_flag_on_rerun(self):
+        events: list[ProgressEvent] = []
+        sweep = Sweep(progress=events.append)
+        sweep.run(grid())
+        events.clear()
+        sweep.run(grid())
+        assert events and all(e.cached for e in events)
+
+
+class TestEvalOutcome:
+    def test_payload_roundtrip(self):
+        outcome = compute_point(SweepPoint.evaluate(RatelPolicy(), CONFIG, 32, SERVER))
+        restored = EvalOutcome.from_payload(outcome.to_payload())
+        assert restored.tokens_per_s == outcome.tokens_per_s
+        assert restored.metrics == outcome.metrics
+        assert restored.plan.a_g2m == outcome.plan.a_g2m
+        assert restored.feasible == outcome.feasible
+
+    def test_infeasible_metrics_are_nan(self):
+        outcome = compute_point(
+            SweepPoint.evaluate(RatelPolicy(), llm("412B"), 64, evaluation_server(n_ssds=1))
+        )
+        assert not outcome.feasible
+        assert math.isnan(outcome.tokens_per_s)
+        assert "cannot fit" in outcome.reason
+        with pytest.raises(ValueError, match="not simulated"):
+            outcome.require_result()
+
+    def test_policy_evaluate_matches_simulate(self):
+        """The rich outcome carries exactly the legacy simulate() numbers."""
+        policy = RatelPolicy()
+        profile = profile_model(CONFIG, 32)
+        outcome = policy.evaluate(profile, SERVER)
+        legacy = policy.simulate(profile, SERVER)
+        assert outcome.tokens_per_s == legacy.tokens_per_s
+        assert outcome.iteration_time == legacy.iteration_time
+
+
+class TestResultCacheUnit:
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_stats_hit_rate(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestDeprecatedShims:
+    def test_throughput_shim_warns_and_matches(self):
+        from repro.experiments.common import evaluate_point, throughput_tokens_per_s
+
+        with pytest.warns(DeprecationWarning):
+            legacy = throughput_tokens_per_s(RatelPolicy(), CONFIG, 32, SERVER)
+        assert legacy == evaluate_point(RatelPolicy(), CONFIG, 32, SERVER).tokens_per_s
+
+    def test_best_throughput_shim_warns(self):
+        from repro.experiments.common import best_throughput
+
+        with pytest.warns(DeprecationWarning):
+            best = best_throughput(RatelPolicy(), CONFIG, SERVER, (8, 16))
+        assert best is not None
+        assert best[0] in (8, 16)
