@@ -118,18 +118,38 @@ def _runner_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persist results under DIR (e.g. .repro_cache/) and reuse on re-runs",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failing point N times (with backoff), then quarantine it "
+        "instead of aborting the sweep",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget; points past it are quarantined "
+        "(needs --jobs: only pool workers can be abandoned)",
+    )
 
 
 def _configure_runner(args) -> None:
-    """Point the shared default sweep at the requested executor/cache."""
+    """Point the shared default sweep at the requested executor/cache.
+
+    Passing ``--retries`` or ``--timeout`` also switches the sweep to
+    quarantine mode: one bad point yields a structured failure in its
+    result slot instead of killing the whole run.
+    """
     jobs = getattr(args, "jobs", None)
     cache_dir = getattr(args, "cache_dir", None)
-    if jobs is None and cache_dir is None:
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    if jobs is None and cache_dir is None and retries is None and timeout is None:
         return
     runner.configure(
         executor="process" if jobs else "serial",
         max_workers=jobs,
         cache_dir=cache_dir,
+        retries=retries or 0,
+        timeout=timeout,
+        on_error="quarantine" if (retries is not None or timeout is not None) else "raise",
     )
 
 
@@ -217,10 +237,15 @@ def cmd_sweep(args, out) -> int:
             )
     print(result.render(), file=out)
     stats = sweep.stats
-    print(
-        f"{len(points)} points: {stats.hits} cache hits, {stats.misses} computed",
-        file=out,
-    )
+    quarantined = sum(1 for o in outcomes if runner.is_failure(o))
+    line = f"{len(points)} points: {stats.hits} cache hits, {stats.misses} computed"
+    if quarantined:
+        line += f", {quarantined} quarantined"
+    print(line, file=out)
+    if quarantined:
+        for o in outcomes:
+            if runner.is_failure(o):
+                print(f"  quarantined {o.label}: {o}", file=out)
     return 0
 
 

@@ -40,6 +40,12 @@ from .memory_model import (
 from .policy import OffloadPolicy
 from .profiling import ProfilingReport, ProfilingRunError, profiling_schedule, run_profiling
 from .ratel import RatelPolicy
+from .resilience import (
+    ReplanReport,
+    degraded_server,
+    fixed_plan_outcome,
+    replan_on_failure,
+)
 from .validation import AgreementPoint, StarQuality, run_agreement_report, run_star_quality_report, star_quality, sweep_agreement
 from .schedule import (
     BlockTask,
@@ -83,6 +89,10 @@ __all__ = [
     "profiling_schedule",
     "run_profiling",
     "RatelPolicy",
+    "ReplanReport",
+    "degraded_server",
+    "fixed_plan_outcome",
+    "replan_on_failure",
     "BlockTask",
     "IterationSchedule",
     "OptimizerMode",

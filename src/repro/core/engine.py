@@ -20,6 +20,7 @@ The engine realises the overlap structure of Fig. 1/3:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.hardware.spec import ServerSpec, gpu_occupancy
 from repro.sim.engine import Event
@@ -27,6 +28,9 @@ from repro.sim.resources import Machine, RateChannel, Semaphore
 from repro.sim.trace import Trace
 
 from .schedule import BlockTask, IterationSchedule, OptimizerMode, StatesLocation
+
+if TYPE_CHECKING:  # import would cycle: faults.chaos imports core.policy
+    from repro.faults import FaultSchedule
 
 #: GPU FLOPs per parameter for an in-core (GPU) Adam step.  Adam is
 #: memory-bound; this value makes a 13B update cost ~0.1 s on a 4090,
@@ -130,9 +134,16 @@ class IterationResult:
         return "\n".join(lines)
 
 
-def run_iteration(server: ServerSpec, schedule: IterationSchedule) -> IterationResult:
-    """Simulate one iteration of ``schedule`` on ``server``."""
-    machine = Machine(server)
+def run_iteration(
+    server: ServerSpec, schedule: IterationSchedule, faults: FaultSchedule | None = None
+) -> IterationResult:
+    """Simulate one iteration of ``schedule`` on ``server``.
+
+    ``faults`` (a :class:`repro.faults.FaultSchedule`, duck-typed to
+    keep ``core`` free of the dependency) injects timed SSD dropouts,
+    bandwidth sags and latency stalls into the machine mid-iteration.
+    """
+    machine = Machine(server, faults=faults)
     run = _IterationRun(machine, schedule)
     machine.sim.process(run.main())
     machine.run()

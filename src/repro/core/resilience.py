@@ -1,0 +1,153 @@
+"""Graceful degradation: replanning after hardware failures (SSD loss).
+
+The paper's pipeline is *plan, then run*: profiling (§IV-B) measures the
+hardware, Algorithm 1 plans against the measurement, and the schedule is
+compiled for that exact server.  When drives drop out of the SSD array
+mid-training, that pipeline is also the recovery path — Ratel simply
+**re-runs profiling on the degraded hardware and replans**.  Fixed-plan
+systems (and a stale Ratel plan) keep executing a schedule sized for
+bandwidth that no longer exists, so their overlap structure collapses —
+or the workload stops fitting entirely.
+
+This module implements both sides of that comparison:
+
+* :func:`degraded_server` — the server spec after ``n_failed`` drives.
+* :func:`replan_on_failure` — profiling + planning + evaluation against
+  the degraded spec, as one :class:`ReplanReport`.
+* :func:`fixed_plan_outcome` — the counterfactual: the schedule compiled
+  for the *healthy* server executed on the degraded one (feasibility
+  checked with the healthy plan's needs against degraded capacity).
+
+``experiments/ext_resilience.py`` turns these into the resilience table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import ModelProfile
+
+from .engine import run_iteration
+from .evaluation import EvalOutcome, PlanSummary, collect_metrics
+from .hwprofile import HardwareProfile
+from .policy import OffloadPolicy
+from .profiling import ProfilingRunError, run_profiling
+
+
+def degraded_server(server: ServerSpec, n_failed: int) -> ServerSpec:
+    """``server`` after ``n_failed`` SSDs have dropped out of the array."""
+    if n_failed < 0:
+        raise ValueError(f"n_failed cannot be negative, got {n_failed}")
+    return server.with_ssds(max(server.n_ssds - n_failed, 0))
+
+
+@dataclass(frozen=True)
+class ReplanReport:
+    """One graceful-degradation episode: failure -> re-profile -> replan."""
+
+    #: How many drives failed relative to the healthy server.
+    n_failed: int
+    #: The degraded server the replan targeted.
+    server: ServerSpec
+    #: The hardware profile re-measured on the degraded server (``None``
+    #: when profiling itself is impossible, i.e. no drives left).
+    measured: HardwareProfile | None
+    #: The policy's evaluation against the degraded server.
+    outcome: EvalOutcome
+
+
+def replan_on_failure(
+    policy: OffloadPolicy,
+    profile: ModelProfile,
+    server: ServerSpec,
+    n_failed: int,
+) -> ReplanReport:
+    """Re-run the paper's pipeline after ``n_failed`` SSD failures.
+
+    Profiling is re-executed on the degraded server (the measurement is
+    what a real deployment would trust — the spec of the dead drives is
+    irrelevant), then the policy evaluates against the degraded spec.
+    Policies in the Ratel family plan per ``(model, server)`` pair, so
+    evaluating on the degraded server *is* the replan: Algorithm 1 picks
+    a new swap split for the reduced SSD bandwidth.
+    """
+    degraded = degraded_server(server, n_failed)
+    measured: HardwareProfile | None = None
+    if degraded.n_ssds >= 1:
+        try:
+            measured = run_profiling(profile, degraded).hardware
+        except ProfilingRunError:
+            measured = None
+    outcome = policy.evaluate(profile, degraded)
+    return ReplanReport(
+        n_failed=n_failed, server=degraded, measured=measured, outcome=outcome
+    )
+
+
+def fixed_plan_outcome(
+    policy: OffloadPolicy,
+    profile: ModelProfile,
+    server: ServerSpec,
+    n_failed: int,
+) -> EvalOutcome:
+    """Evaluate the *healthy* server's plan executed on degraded hardware.
+
+    This is what happens without replanning: the schedule (and its memory
+    footprint) was compiled for the full array.  Feasibility is judged
+    with the healthy plan's needs against the degraded capacities, and
+    the healthy schedule is simulated on the degraded machine — its
+    prefetch windows and swap split now sized for bandwidth that is gone.
+    """
+    degraded = degraded_server(server, n_failed)
+    supported = policy.supported_on(degraded)
+
+    reason: str | None = None
+    if not supported:
+        reason = (
+            f"{policy.name} is not supported on {degraded.name!r} "
+            f"(hardware requirement not met after {n_failed} SSD failure(s))"
+        )
+    else:
+        shortfalls = policy.memory_needs(profile, server).shortfalls(degraded)
+        if shortfalls:
+            detail = ", ".join(
+                f"{tier}: {missing / 1e9:.1f} GB short"
+                for tier, missing in shortfalls.items()
+            )
+            reason = (
+                f"{policy.name}'s plan for {server.name!r} no longer fits "
+                f"after {n_failed} SSD failure(s): {detail}"
+            )
+
+    plan = None
+    result = None
+    metrics: dict = {}
+    if supported:
+        planner = getattr(policy, "plan", None)
+        if callable(planner):
+            plan = PlanSummary.from_plan(planner(profile, server))
+        if degraded.n_ssds >= 1:
+            # The healthy schedule on the degraded machine — the stale
+            # plan keeps running as long as the drives that remain can
+            # physically serve it.
+            result = run_iteration(degraded, policy.compile(profile, server))
+            metrics = collect_metrics(result)
+        elif reason is None:
+            reason = (
+                f"{policy.name}'s plan offloads states to SSD but no drives "
+                f"remain after {n_failed} failure(s)"
+            )
+
+    return EvalOutcome(
+        policy=policy.name,
+        model=profile.config.name,
+        batch_size=profile.batch_size,
+        server=degraded.name,
+        feasible=reason is None,
+        supported=supported,
+        reason=reason,
+        plan=plan,
+        metrics=metrics,
+        result=result,
+    )

@@ -13,6 +13,7 @@ from repro.analysis.report import ExperimentResult
 
 from . import (
     ablations,
+    ext_resilience,
     ext_seq_len,
     fig1_breakdown,
     fig2_motivation,
@@ -42,6 +43,7 @@ ALL_MODULES = (
     fig13_cost,
     ablations,
     ext_seq_len,
+    ext_resilience,
     traffic_report,
 )
 

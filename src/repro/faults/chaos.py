@@ -1,0 +1,150 @@
+"""Chaos policies: sweep points engineered to fail.
+
+These are minimal :class:`~repro.core.policy.OffloadPolicy` subclasses
+whose ``evaluate`` misbehaves in a controlled way — raise, crash the
+worker process, or hang — so the sweep runner's retry / timeout /
+quarantine machinery can be exercised end to end, including across
+process pools.  They live in the installed package (not a test module)
+so worker processes can unpickle them regardless of start method, and
+their state lives on public attributes so :mod:`repro.runner.keys` can
+content-key them like any other policy.
+
+Cross-process behaviour (``FlakyPolicy`` failing exactly N times,
+``CrashPolicy`` crashing exactly once) is coordinated through sentinel
+files created with ``O_CREAT | O_EXCL`` in a caller-provided directory —
+atomic even when attempts race across workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.evaluation import EvalOutcome
+from repro.core.memory_model import ResourceNeeds
+from repro.core.policy import OffloadPolicy
+from repro.hardware.spec import ServerSpec
+from repro.models.profile import ModelProfile
+
+from .inject import FaultInjected
+
+
+class ChaosPolicy(OffloadPolicy):
+    """Base class: a policy that performs no real planning or simulation.
+
+    Subclasses override :meth:`_act` to misbehave; when ``_act`` returns
+    normally the evaluation succeeds with a stub infeasible outcome, so
+    chaos points flow through the sweep machinery without needing a real
+    model/server pair to make sense.
+    """
+
+    name = "Chaos"
+
+    def memory_needs(self, profile: ModelProfile, server: ServerSpec) -> ResourceNeeds:
+        return ResourceNeeds(0.0, 0.0, 0.0)
+
+    def compile(self, profile: ModelProfile, server: ServerSpec):
+        raise NotImplementedError(f"{self.name} is a chaos policy; it never compiles a schedule")
+
+    def evaluate(
+        self,
+        profile: ModelProfile,
+        server: ServerSpec,
+        *,
+        simulate_infeasible: bool = False,
+    ) -> EvalOutcome:
+        self._act()
+        return EvalOutcome(
+            policy=self.name,
+            model=profile.config.name,
+            batch_size=profile.batch_size,
+            server=server.name,
+            feasible=False,
+            supported=True,
+            reason=f"{self.name} is a chaos policy (fault injection); it never trains",
+        )
+
+    def _act(self) -> None:
+        """Misbehave (raise, crash, sleep); returning means success."""
+
+
+class PoisonPolicy(ChaosPolicy):
+    """Deterministically raises on every evaluation — never succeeds."""
+
+    name = "Poison"
+
+    def _act(self) -> None:
+        raise FaultInjected(f"{self.name}: injected evaluation failure")
+
+
+class FlakyPolicy(ChaosPolicy):
+    """Fails the first ``fail_times`` evaluations, then succeeds forever.
+
+    Attempt counting uses exclusive-create sentinel files under
+    ``state_dir`` so the count is shared across worker processes.
+    """
+
+    name = "Flaky"
+
+    def __init__(self, state_dir: str, fail_times: int = 1, tag: str = "flaky") -> None:
+        if fail_times < 1:
+            raise ValueError(f"fail_times must be >= 1, got {fail_times}")
+        self.state_dir = str(state_dir)
+        self.fail_times = int(fail_times)
+        self.tag = tag
+
+    def _act(self) -> None:
+        for attempt in range(self.fail_times):
+            sentinel = os.path.join(self.state_dir, f"{self.tag}.fail{attempt}")
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            raise FaultInjected(
+                f"{self.name}: injected transient failure "
+                f"(attempt {attempt + 1} of {self.fail_times})"
+            )
+
+
+class CrashPolicy(ChaosPolicy):
+    """Hard-kills its worker process (``os._exit``) exactly once.
+
+    Only meaningful under the process executor: the first evaluation
+    takes the whole worker down (no exception, no cleanup — like an OOM
+    kill), later attempts succeed.  The one-shot guarantee is a sentinel
+    file in ``state_dir``, so the retry lands on a healthy evaluation.
+    """
+
+    name = "Crash"
+
+    def __init__(self, state_dir: str, tag: str = "crash") -> None:
+        self.state_dir = str(state_dir)
+        self.tag = tag
+
+    def _act(self) -> None:
+        sentinel = os.path.join(self.state_dir, f"{self.tag}.crashed")
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os._exit(3)
+
+
+class SlowPolicy(ChaosPolicy):
+    """Sleeps ``delay_s`` before succeeding — trips per-point timeouts.
+
+    The delay is finite (not an infinite hang) so test runs can always
+    drain their worker pools and exit.
+    """
+
+    name = "Slow"
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError(f"delay_s cannot be negative, got {delay_s}")
+        self.delay_s = float(delay_s)
+
+    def _act(self) -> None:
+        time.sleep(self.delay_s)

@@ -1,0 +1,137 @@
+"""Simulator-side fault schedules: degrade the machine mid-iteration.
+
+A :class:`FaultSchedule` is a set of timed events installed onto a
+:class:`~repro.sim.resources.Machine`.  Each event becomes a coroutine
+process on the machine's simulator, so faults interleave with the
+iteration's own processes under the same deterministic event loop:
+
+* :class:`SSDDropout` — ``count`` drives leave the array at time ``at``;
+  the array's bandwidth is recomputed from the server spec with the
+  remaining drives (platform cap included).  Requests already queued see
+  the degraded rate, exactly like a real in-flight I/O stream.
+* :class:`BandwidthSag` — a channel runs at ``factor`` of its rate for a
+  window (thermal throttling, SLC-cache exhaustion, a noisy neighbour).
+* :class:`LatencyStall` — a channel freezes for ``duration`` seconds (a
+  device timeout / link retrain); the stall occupies the channel's FIFO
+  lane, so it also delays every queued request.  The stall is recorded
+  in the trace under the label ``fault_stall``.
+
+The schedule itself never imports the simulator — it drives the machine
+through its public surface (``sim``, ``channel``, ``fail_ssds``) — so
+the dependency points strictly from ``repro.faults`` at ``repro.sim``'s
+interface, never the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class FaultScheduleError(ValueError):
+    """Raised for physically meaningless fault schedules."""
+
+
+@dataclass(frozen=True)
+class SSDDropout:
+    """``count`` SSDs fail out of the array at time ``at`` (seconds)."""
+
+    at: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultScheduleError(f"fault time cannot be negative, got {self.at}")
+        if self.count < 1:
+            raise FaultScheduleError(f"dropout needs count >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class BandwidthSag:
+    """A channel runs at ``factor`` of its rate during ``[at, at+duration)``."""
+
+    at: float
+    duration: float
+    factor: float
+    resource: str = "ssd"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultScheduleError(f"fault time cannot be negative, got {self.at}")
+        if self.duration <= 0:
+            raise FaultScheduleError(f"sag needs a positive duration, got {self.duration}")
+        if not 0 < self.factor < 1:
+            raise FaultScheduleError(
+                f"sag factor must be in (0, 1), got {self.factor} "
+                "(1 is no fault, 0 is a stall — use LatencyStall)"
+            )
+
+
+@dataclass(frozen=True)
+class LatencyStall:
+    """A channel freezes (FIFO lane held) for ``duration`` seconds at ``at``."""
+
+    at: float
+    duration: float
+    resource: str = "ssd"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultScheduleError(f"fault time cannot be negative, got {self.at}")
+        if self.duration <= 0:
+            raise FaultScheduleError(f"stall needs a positive duration, got {self.duration}")
+
+
+FaultEvent = SSDDropout | BandwidthSag | LatencyStall
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable set of timed fault events for one simulated run."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, (SSDDropout, BandwidthSag, LatencyStall)):
+                raise FaultScheduleError(f"unknown fault event {event!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def install(self, machine) -> None:
+        """Spawn one injector process per event on ``machine``'s simulator."""
+        for event in self.events:
+            if isinstance(event, SSDDropout):
+                machine.sim.process(_dropout(machine, event))
+            elif isinstance(event, BandwidthSag):
+                machine.sim.process(_sag(machine, event))
+            else:
+                machine.sim.process(_stall(machine, event))
+
+
+def _dropout(machine, event: SSDDropout):
+    yield machine.sim.timeout(event.at)
+    machine.fail_ssds(event.count)
+    machine.trace.record("ssd", "fault_ssd_dropout", machine.sim.now, machine.sim.now, 0.0)
+
+
+def _sag(machine, event: BandwidthSag):
+    yield machine.sim.timeout(event.at)
+    channel = machine.channel(event.resource)
+    channel.derate(event.factor)
+    yield machine.sim.timeout(event.duration)
+    channel.derate(1.0 / event.factor)
+    machine.trace.record(
+        event.resource, "fault_bw_sag", machine.sim.now - event.duration, machine.sim.now, 0.0
+    )
+
+
+def _stall(machine, event: LatencyStall):
+    yield machine.sim.timeout(event.at)
+    lock = machine.channel(event.resource).lock
+    grant = lock.request()
+    yield grant
+    start = machine.sim.now
+    yield machine.sim.timeout(event.duration)
+    machine.trace.record(event.resource, "fault_stall", start, machine.sim.now, 0.0)
+    lock.release()

@@ -33,6 +33,8 @@ from .cache import CACHE_VERSION, CacheStats, ResultCache
 from .keys import CacheKeyError, cache_key, describe
 from .sweep import (
     EXECUTORS,
+    ON_ERROR_MODES,
+    PointFailure,
     ProgressEvent,
     Sweep,
     SweepError,
@@ -40,6 +42,7 @@ from .sweep import (
     compute_point,
     configure,
     default_sweep,
+    is_failure,
     reset,
 )
 
@@ -51,6 +54,8 @@ __all__ = [
     "cache_key",
     "describe",
     "EXECUTORS",
+    "ON_ERROR_MODES",
+    "PointFailure",
     "ProgressEvent",
     "Sweep",
     "SweepError",
@@ -58,5 +63,6 @@ __all__ = [
     "compute_point",
     "configure",
     "default_sweep",
+    "is_failure",
     "reset",
 ]

@@ -17,6 +17,15 @@ across a ``concurrent.futures`` pool with ordered result collection and
 a progress hook.  Process workers return the JSON payload (the full
 event trace stays in the worker); serial and thread execution keep live
 :class:`~repro.core.engine.IterationResult` objects in the memory layer.
+
+Long sweeps survive bad points: with ``retries``/``timeout`` set and
+``on_error="quarantine"``, a point that raises, hangs past its deadline
+or takes its worker process down is retried with exponential backoff and
+finally *quarantined* — its slot in the results carries a structured
+:class:`PointFailure` instead of aborting the other points.  Failures
+are never cached, so a fixed environment gets a clean retry on the next
+run.  The default (``on_error="raise"``) keeps the historical fail-fast
+behaviour.
 """
 
 from __future__ import annotations
@@ -24,7 +33,15 @@ from __future__ import annotations
 import dataclasses
 import logging
 import time
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -47,6 +64,42 @@ EXECUTORS = ("serial", "thread", "process")
 
 class SweepError(ValueError):
     """Raised for malformed sweep points or executor configuration."""
+
+
+#: Error-handling modes accepted by :class:`Sweep`.
+ON_ERROR_MODES = ("raise", "quarantine")
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A quarantined sweep point: what failed, how, after how many tries.
+
+    Occupies the failed point's slot in :meth:`Sweep.run` results (and is
+    the return value of :meth:`Sweep.run_point`) when the sweep runs with
+    ``on_error="quarantine"``.  Failures are never written to the cache.
+    """
+
+    kind: str
+    label: str
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+
+    #: Mirrors :attr:`EvalOutcome.feasible` so result-table code that
+    #: checks ``outcome.feasible`` treats failures as non-results.
+    @property
+    def feasible(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        cause = "timed out" if self.timed_out else self.error_type
+        return f"[quarantined after {self.attempts} attempt(s): {cause}] {self.message}"
+
+
+def is_failure(value: Any) -> bool:
+    """True when a sweep result slot holds a quarantined failure."""
+    return isinstance(value, PointFailure)
 
 
 @dataclass(frozen=True)
@@ -231,6 +284,20 @@ class Sweep:
     ``cache_dir`` turns on the on-disk JSON store (conventionally
     ``.repro_cache/``).  ``progress`` receives a
     :class:`ProgressEvent` per completed point.
+
+    Robustness knobs:
+
+    * ``retries`` — how many times a failing point is recomputed (with
+      exponential backoff starting at ``retry_backoff_s``) before its
+      failure is final.  A crashed worker process counts as a failed
+      attempt for every point that was in flight on the broken pool.
+    * ``timeout`` — per-point wall-clock budget in seconds.  Enforced in
+      the pool executors (a worker cannot be preempted from within, so
+      serial mode ignores it); a point past its deadline is abandoned
+      without retry — retrying a hang only spends the budget again.
+    * ``on_error`` — ``"raise"`` (default) propagates the final failure
+      and aborts the sweep; ``"quarantine"`` converts it into a
+      :class:`PointFailure` in the point's result slot and keeps going.
     """
 
     executor: str = "serial"
@@ -238,10 +305,22 @@ class Sweep:
     cache: ResultCache = None  # type: ignore[assignment]
     cache_dir: str | None = None
     progress: ProgressHook | None = None
+    retries: int = 0
+    retry_backoff_s: float = 0.05
+    timeout: float | None = None
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
             raise SweepError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.on_error not in ON_ERROR_MODES:
+            raise SweepError(
+                f"unknown on_error mode {self.on_error!r}; choose from {ON_ERROR_MODES}"
+            )
+        if self.retries < 0:
+            raise SweepError(f"retries cannot be negative, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SweepError(f"timeout must be positive, got {self.timeout}")
         if self.cache is None:
             self.cache = ResultCache(disk_dir=self.cache_dir)
 
@@ -303,14 +382,15 @@ class Sweep:
         return self.run_point(SweepPoint.data_parallel(policy, config, global_batch, server))
 
     def run_point(self, point: SweepPoint) -> Any:
-        """Evaluate one point through the cache."""
+        """Evaluate one point through the cache (with retry/quarantine)."""
         key = point.key()
         cached = self._lookup(key)
         if cached is not _MISS:
             return cached
         started = time.perf_counter()
-        value = compute_point(point)
-        self.cache.put(key, value, _encode(value))
+        value = self._compute_resilient(point)
+        if not isinstance(value, PointFailure):
+            self.cache.put(key, value, _encode(value))
         logger.debug(
             "computed %s in %.3fs", point.label(), time.perf_counter() - started
         )
@@ -355,7 +435,9 @@ class Sweep:
                 unique[key] = point
 
         if pending:
-            if mode == "serial" or len(unique) == 1:
+            # A single miss is not worth a pool — unless a per-point
+            # timeout is set, which only the pool paths can enforce.
+            if mode == "serial" or (len(unique) == 1 and self.timeout is None):
                 self._drain_serial(pending, unique, results, total, started)
             else:
                 self._drain_pool(mode, max_workers, pending, unique, results, total, started)
@@ -371,44 +453,193 @@ class Sweep:
 
     # -- internals -------------------------------------------------------------
 
+    def _compute_resilient(self, point: SweepPoint) -> Any:
+        """Compute one point in-process with retry/backoff/quarantine."""
+        delay = self.retry_backoff_s
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return compute_point(point)
+            except SweepError:
+                raise  # malformed points are a caller bug, not a transient fault
+            except Exception as exc:  # noqa: BLE001 — resilience boundary
+                if attempt < attempts:
+                    logger.warning(
+                        "point %s failed (attempt %d/%d): %s; retrying in %.3fs",
+                        point.label(), attempt, attempts, exc, delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    delay *= 2
+                    continue
+                if self.on_error == "raise":
+                    raise
+                logger.error(
+                    "quarantining point %s after %d attempt(s): %s",
+                    point.label(), attempt, exc,
+                )
+                return PointFailure(
+                    kind=point.kind,
+                    label=point.label(),
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempt,
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _drain_serial(self, pending, unique, results, total, started) -> None:
         for key, point in unique.items():
-            value = compute_point(point)
+            value = self._compute_resilient(point)
+            if isinstance(value, PointFailure):
+                self._resolve(key, value, pending, unique, results, total, started)
+                continue
             self.cache.put(key, value, _encode(value))
-            for index in pending[key]:
-                results[index] = value
-                self._report(index, total, point, cached=False, started=started, value=value)
+            self._resolve(key, value, pending, unique, results, total, started)
 
     def _drain_pool(self, mode, max_workers, pending, unique, results, total, started) -> None:
+        """Fan pending points out over a pool, surviving bad workers.
+
+        A future that raises is retried up to ``retries`` times by
+        resubmission; a broken process pool (a worker died — OOM kill,
+        ``os._exit``) is rebuilt and every in-flight point charged one
+        attempt, since the culprit cannot be identified; a point past its
+        ``timeout`` is abandoned (its worker cannot be preempted, so the
+        pool is finally shut down without waiting for stragglers).
+        """
         workers = max_workers or self.max_workers
-        pool: Executor
-        if mode == "process":
-            pool = ProcessPoolExecutor(max_workers=workers)
-        else:
-            pool = ThreadPoolExecutor(max_workers=workers)
-        with pool:
+        worker_fn = _pool_compute if mode == "process" else compute_point
+
+        def make_pool() -> Executor:
             if mode == "process":
-                futures = {pool.submit(_pool_compute, unique[key]): key for key in unique}
+                return ProcessPoolExecutor(max_workers=workers)
+            return ThreadPoolExecutor(max_workers=workers)
+
+        pool = make_pool()
+        attempts: dict[str, int] = {}
+        delays: dict[str, float] = {}
+        futures: dict[Future, str] = {}
+        deadlines: dict[Future, float] = {}
+        had_stragglers = False
+
+        def submit(key: str) -> None:
+            attempts[key] = attempts.get(key, 0) + 1
+            future = pool.submit(worker_fn, unique[key])
+            futures[future] = key
+            if self.timeout is not None:
+                deadlines[future] = time.monotonic() + self.timeout
+
+        def fail(key: str, exc: BaseException, *, timed_out: bool = False) -> None:
+            point = unique[key]
+            logger.error(
+                "quarantining point %s after %d attempt(s): %s",
+                point.label(), attempts[key], exc,
+            )
+            failure = PointFailure(
+                kind=point.kind,
+                label=point.label(),
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempts[key],
+                timed_out=timed_out,
+            )
+            self._resolve(key, failure, pending, unique, results, total, started)
+
+        def retry_or_fail(key: str, exc: BaseException) -> None:
+            if attempts[key] <= self.retries:
+                delay = delays.get(key, self.retry_backoff_s)
+                delays[key] = delay * 2
+                logger.warning(
+                    "point %s failed (attempt %d/%d): %s; retrying in %.3fs",
+                    unique[key].label(), attempts[key], self.retries + 1, exc, delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                submit(key)
+            elif self.on_error == "raise":
+                raise exc
             else:
-                futures = {pool.submit(compute_point, unique[key]): key for key in unique}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                fail(key, exc)
+
+        try:
+            for key in unique:
+                submit(key)
+            while futures:
+                live = set(futures)
+                wait_timeout = None
+                if deadlines:
+                    now = time.monotonic()
+                    wait_timeout = max(
+                        0.0,
+                        min(deadlines[f] for f in live if f in deadlines) - now,
+                    )
+                done, _ = wait(live, timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for future in list(live - done):
+                        if deadlines.get(future, float("inf")) > now:
+                            continue
+                        key = futures.pop(future)
+                        deadlines.pop(future, None)
+                        if not future.cancel():
+                            # The worker is stuck inside the point; it
+                            # cannot be preempted, only abandoned.
+                            had_stragglers = True
+                        exc = TimeoutError(
+                            f"point exceeded the per-point timeout of {self.timeout:.3g}s"
+                        )
+                        if self.on_error == "raise":
+                            raise exc
+                        fail(key, exc, timed_out=True)
+
+                broken: BrokenExecutor | None = None
                 for future in done:
-                    key = futures[future]
+                    key = futures.pop(future, None)
+                    if key is None:
+                        continue
+                    deadlines.pop(future, None)
                     point = unique[key]
-                    value = future.result()
+                    try:
+                        value = future.result()
+                    except BrokenExecutor as exc:
+                        broken = exc
+                        break
+                    except Exception as exc:  # noqa: BLE001 — resilience boundary
+                        retry_or_fail(key, exc)
+                        continue
                     if mode == "process":
                         envelope = value
                         value = _decode(envelope)
                         self.cache.put(key, value, envelope)
                     else:
                         self.cache.put(key, value, _encode(value))
-                    for index in pending[key]:
-                        results[index] = value
-                        self._report(
-                            index, total, point, cached=False, started=started, value=value
-                        )
+                    self._resolve(key, value, pending, unique, results, total, started)
+
+                if broken is not None:
+                    # Every future on the broken pool is lost; none can be
+                    # blamed, so each in-flight point is charged one attempt
+                    # and rerun on a fresh pool.
+                    in_flight = sorted(set(futures.values()), key=list(unique).index)
+                    futures.clear()
+                    deadlines.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+                    logger.warning(
+                        "worker pool broke (%s); rebuilding and retrying %d in-flight point(s)",
+                        broken, len(in_flight) + 1,
+                    )
+                    retry_or_fail(key, broken)
+                    for other in in_flight:
+                        retry_or_fail(other, broken)
+        finally:
+            pool.shutdown(wait=not had_stragglers, cancel_futures=True)
+
+    def _resolve(self, key, value, pending, unique, results, total, started) -> None:
+        """Install ``value`` in every result slot that shares ``key``."""
+        point = unique[key]
+        for index in pending[key]:
+            results[index] = value
+            self._report(index, total, point, cached=False, started=started, value=value)
 
     def _lookup(self, key: str) -> Any:
         hit = self.cache.get(key)
@@ -430,16 +661,21 @@ class Sweep:
     ) -> None:
         if self.progress is None:
             return
-        self.progress(
-            ProgressEvent(
-                index=index,
-                total=total,
-                label=point.label(),
-                cached=cached,
-                elapsed_s=time.perf_counter() - started,
-                value=value,
-            )
+        event = ProgressEvent(
+            index=index,
+            total=total,
+            label=point.label(),
+            cached=cached,
+            elapsed_s=time.perf_counter() - started,
+            value=value,
         )
+        try:
+            self.progress(event)
+        except Exception:  # noqa: BLE001 — a broken hook must not kill the sweep
+            logger.exception(
+                "progress hook raised for %s (point %d/%d); continuing the sweep",
+                event.label, index + 1, total,
+            )
 
 
 _MISS = object()

@@ -15,7 +15,13 @@ no staleness, recompute fidelity, exact traffic accounting — while
 
 from .api import RatelAPIError, RatelContext, RatelOptimizer, current_context, ratel_hook, ratel_init
 from .dit import AdaLNBlock, DiTModel, denoising_loss, timestep_embedding
-from .serialization import CheckpointError, load_checkpoint, save_checkpoint
+from .serialization import (
+    CheckpointError,
+    PeriodicCheckpointer,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .textgen import CharTokenizer, generate, sample_batches
 from .modules import (
     CrossEntropyLoss,
@@ -35,6 +41,8 @@ from .storage import (
     GPU,
     HOST,
     NVME,
+    SpillCorruptionError,
+    SpillError,
     StorageError,
     StorageManager,
     StoredTensor,
@@ -50,6 +58,8 @@ __all__ = [
     "denoising_loss",
     "timestep_embedding",
     "CheckpointError",
+    "PeriodicCheckpointer",
+    "checkpoint_path",
     "load_checkpoint",
     "save_checkpoint",
     "CharTokenizer",
@@ -79,6 +89,8 @@ __all__ = [
     "GPU",
     "HOST",
     "NVME",
+    "SpillCorruptionError",
+    "SpillError",
     "StorageError",
     "StorageManager",
     "StoredTensor",

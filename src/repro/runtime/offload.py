@@ -73,6 +73,10 @@ class RatelRuntime:
         #: lets tests assert the last-block-first arrival order of §IV-C.
         self.update_order: list[str] = []
         self._handlers_installed = False
+        #: Called as ``hook(self)`` after every completed training step
+        #: (all variants) — the attachment point for periodic
+        #: checkpointing and other end-of-step policies.
+        self._step_hooks: list[Callable[["RatelRuntime"], None]] = []
 
         target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
         for index, block in enumerate(target_blocks):
@@ -109,6 +113,24 @@ class RatelRuntime:
 
     # -- public API -------------------------------------------------------------
 
+    def add_step_hook(self, hook: Callable[["RatelRuntime"], None]) -> None:
+        """Register ``hook(runtime)`` to run after every completed step.
+
+        Hooks fire once the step's updates are fully applied (whatever
+        the optimizer mode), so a hook that checkpoints — e.g.
+        :class:`~repro.runtime.serialization.PeriodicCheckpointer` —
+        always captures a consistent state.  A hook that raises aborts
+        the step's epilogue: by then the training state is already
+        consistent, and a failing checkpoint must surface, not vanish.
+        """
+        if not callable(hook):
+            raise TypeError(f"step hook must be callable, got {type(hook)!r}")
+        self._step_hooks.append(hook)
+
+    def _fire_step_hooks(self) -> None:
+        for hook in self._step_hooks:
+            hook(self)
+
     def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
         """Run one iteration: forward + backward (+ optimizer, per mode).
 
@@ -129,6 +151,7 @@ class RatelRuntime:
             for name, param in reversed(list(self.model.named_parameters())):
                 if param.grad is not None:
                     self._consume_gradient(name, param)
+        self._fire_step_hooks()
         return float(loss.data)
 
     def train_step_accumulate(self, loss_fns: list[Callable[[], Tensor]]) -> float:
@@ -164,6 +187,7 @@ class RatelRuntime:
             for name, param in reversed(list(self.model.named_parameters())):
                 if param.grad is not None:
                     self._consume_gradient(name, param)
+        self._fire_step_hooks()
         return total
 
     def train_step_clipped(
@@ -198,6 +222,7 @@ class RatelRuntime:
             for name, param in reversed(list(self.model.named_parameters())):
                 if param.grad is not None:
                     self._consume_gradient(name, param)
+        self._fire_step_hooks()
         return float(loss.data), norm
 
     def _apply_delayed_update(self) -> None:

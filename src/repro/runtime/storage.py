@@ -14,16 +14,32 @@ and the SSD array.  Every tensor the offload engine manages lives in a
 
 Byte accounting uses the tensor's *storage* dtype (fp16 for activations
 and compute parameters, fp32 for master states) independent of the
-float32 the math runs in.
+float32 the math runs in.  Spilled fp16 tensors are also *restored* at
+fp16 width, so resident memory matches the accounted bytes.
+
+Spill I/O is hardened against the failures a multi-day run actually
+sees: writes go to a temp file and ``os.replace`` into place (a crash
+mid-write never leaves a half-written spill under the real name), every
+spill carries a CRC32 checksum verified on load (torn writes and bit
+flips surface as :class:`SpillCorruptionError` instead of silently
+corrupted parameters), and transient ``OSError`` on either side is
+retried with exponential backoff before :class:`SpillError` is raised.
+A :class:`repro.faults.FaultInjector` can be attached to exercise all
+of these paths deterministically.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import time
+import zlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
+
+from repro.faults.inject import with_retries
 
 GPU = "gpu"
 HOST = "host"
@@ -45,6 +61,14 @@ class TierCapacityError(MemoryError):
 
 class StorageError(RuntimeError):
     """Raised for invalid storage operations (unknown tier, double free)."""
+
+
+class SpillError(StorageError):
+    """Spill I/O failed even after the configured retries."""
+
+
+class SpillCorruptionError(SpillError):
+    """A spill file failed its checksum on load (torn write / bit flip)."""
 
 
 @dataclass
@@ -88,6 +112,7 @@ class StoredTensor:
     manager: "StorageManager"
     _spill_path: str | None = None
     _spill_shape: tuple[int, ...] = field(default_factory=tuple)
+    _spill_crc: int | None = None
 
     @property
     def nbytes(self) -> float:
@@ -118,7 +143,20 @@ class StorageManager:
         host_capacity: float,
         nvme_capacity: float,
         spill_dir: str | None = None,
+        *,
+        faults=None,
+        max_retries: int = 3,
+        backoff_s: float = 0.005,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {max_retries}")
+        #: Optional :class:`repro.faults.FaultInjector` (duck-typed) whose
+        #: ``on_read`` / ``on_write`` / ``maybe_corrupt`` hooks wrap spill I/O.
+        self.faults = faults
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
         self.tiers = {
             GPU: Tier(GPU, gpu_capacity),
             HOST: Tier(HOST, host_capacity),
@@ -148,7 +186,11 @@ class StorageManager:
         )
         self.tiers[tier].allocate(tensor.nbytes)
         if tier == NVME:
-            self._spill(tensor)
+            try:
+                self._spill(tensor)
+            except Exception:
+                self.tiers[tier].free(tensor.nbytes)
+                raise
         self._tensors[name] = tensor
         return tensor
 
@@ -165,6 +207,11 @@ class StorageManager:
         A GPU<->NVMe move without GPUDirect bounces through the host, so
         both hops are counted (that is the consumer-GPU data path the
         paper targets).
+
+        The actual I/O (load from / spill to disk) runs before the move
+        is committed: a transfer that fails even after retries leaves the
+        tensor, its accounting and the traffic counters in the source
+        state, so the caller can handle the error and carry on.
         """
         self._check_tier(dest)
         source = tensor.tier
@@ -172,14 +219,18 @@ class StorageManager:
             return
         path = _route(source, dest)
         self.tiers[dest].allocate(tensor.nbytes)
+        try:
+            if source == NVME:
+                self._load(tensor)
+            if dest == NVME:
+                self._spill(tensor)
+        except Exception:
+            self.tiers[dest].free(tensor.nbytes)
+            raise
         self.tiers[source].free(tensor.nbytes)
         for hop in path:
             self.moved_bytes[hop] += tensor.nbytes
-        if source == NVME:
-            self._load(tensor)
         tensor.tier = dest
-        if dest == NVME:
-            self._spill(tensor)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -206,7 +257,13 @@ class StorageManager:
     # -- internals ---------------------------------------------------------------------
 
     def _spill(self, tensor: StoredTensor) -> None:
-        """Write the payload to disk and drop it from memory."""
+        """Write the payload to disk atomically and drop it from memory.
+
+        Each attempt writes to a temp file and ``os.replace``s it into
+        place, so a failure (or crash) mid-write never leaves a truncated
+        file under the spill name.  Transient ``OSError`` is retried with
+        backoff; exhaustion raises :class:`SpillError`.
+        """
         if tensor.array is None:
             return
         self._spill_seq += 1
@@ -214,22 +271,92 @@ class StorageManager:
         # fp16 tensors are persisted at fp16 width: the round-trip
         # precision loss is part of faithful mixed-precision behaviour.
         disk_dtype = np.float16 if tensor.itemsize == 2 else np.float32
-        np.save(path, tensor.array.astype(disk_dtype))
+        payload = np.ascontiguousarray(tensor.array.astype(disk_dtype))
+
+        def attempt() -> None:
+            if self.faults is not None:
+                self.faults.on_write(path)
+            tmp = path + ".tmp"
+            try:
+                with open(tmp, "wb") as handle:
+                    np.save(handle, payload)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+
+        try:
+            with_retries(
+                attempt,
+                what=f"spill of {tensor.name!r}",
+                retries=self.max_retries,
+                backoff_s=self.backoff_s,
+                sleep=self._sleep,
+            )
+        except OSError as exc:
+            raise SpillError(
+                f"spilling tensor {tensor.name!r} to {path!r} failed after "
+                f"{self.max_retries + 1} attempt(s): {exc}"
+            ) from exc
+        if self.faults is not None:
+            self.faults.maybe_corrupt(path)
+        tensor._spill_crc = zlib.crc32(payload.tobytes())
         tensor._spill_shape = tensor.array.shape
         tensor._spill_path = path
         tensor.array = None
 
     def _load(self, tensor: StoredTensor) -> None:
-        """Read a spilled payload back into memory."""
+        """Read a spilled payload back into memory, verifying its checksum.
+
+        The tensor is restored at its *storage* width (fp16 stays fp16),
+        so resident bytes match the accounted ``nbytes``.  Transient
+        ``OSError`` is retried; a checksum mismatch or an unparseable
+        file is corruption — deterministic, so it fails immediately with
+        :class:`SpillCorruptionError`.
+        """
         if tensor._spill_path is None:
             raise StorageError(f"tensor {tensor.name!r} has no spill file")
-        tensor.array = np.load(tensor._spill_path).astype(np.float32)
+        path = tensor._spill_path
+
+        def attempt() -> np.ndarray:
+            if self.faults is not None:
+                self.faults.on_read(path)
+            return np.load(path)
+
+        try:
+            array = with_retries(
+                attempt,
+                what=f"load of {tensor.name!r}",
+                retries=self.max_retries,
+                backoff_s=self.backoff_s,
+                sleep=self._sleep,
+            )
+        except OSError as exc:
+            raise SpillError(
+                f"loading tensor {tensor.name!r} from {path!r} failed after "
+                f"{self.max_retries + 1} attempt(s): {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise SpillCorruptionError(
+                f"spill file {path!r} of tensor {tensor.name!r} is not a valid "
+                f".npy file (torn write?): {exc}"
+            ) from exc
+        if (
+            tensor._spill_crc is not None
+            and zlib.crc32(np.ascontiguousarray(array).tobytes()) != tensor._spill_crc
+        ):
+            raise SpillCorruptionError(
+                f"spill file {path!r} of tensor {tensor.name!r} failed its CRC32 "
+                "check: the payload changed on disk since it was written"
+            )
+        tensor.array = array
         self._unspill_file(tensor)
 
     def _unspill_file(self, tensor: StoredTensor) -> None:
         if tensor._spill_path is not None and os.path.exists(tensor._spill_path):
             os.unlink(tensor._spill_path)
         tensor._spill_path = None
+        tensor._spill_crc = None
 
     def _check_tier(self, tier: str) -> None:
         if tier not in self.tiers:

@@ -1,0 +1,138 @@
+"""Tests for graceful degradation under SSD failures.
+
+The replanning path (:mod:`repro.core.resilience`) must degrade smoothly
+— re-profiling and re-running Algorithm 1 on the surviving array — while
+fixed plans (a stale Ratel plan, ZeRO-Infinity) collapse or stop
+fitting.  The ``ext_resilience`` experiment packages the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import ZeroInfinityPolicy
+from repro.core import (
+    RatelPolicy,
+    degraded_server,
+    fixed_plan_outcome,
+    replan_on_failure,
+)
+from repro.experiments import ext_resilience
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+
+FAILURES = (0, 1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def episode():
+    """Every recovery posture across 0-4 failures on the 6-drive array."""
+    server = evaluation_server().with_ssds(6)
+    profile = profile_model(llm("135B"), 40)
+    ratel = RatelPolicy()
+    zero = ZeroInfinityPolicy()
+    return {
+        "server": server,
+        "replan": [replan_on_failure(ratel, profile, server, n) for n in FAILURES],
+        "stale": [fixed_plan_outcome(ratel, profile, server, n) for n in FAILURES],
+        "zero": [fixed_plan_outcome(zero, profile, server, n) for n in FAILURES],
+    }
+
+
+class TestDegradedServer:
+    def test_removes_drives(self, server):
+        assert degraded_server(server, 3).n_ssds == server.n_ssds - 3
+
+    def test_zero_failures_is_identity(self, server):
+        assert degraded_server(server, 0).n_ssds == server.n_ssds
+
+    def test_over_failure_clamps_to_zero(self, server):
+        assert degraded_server(server, server.n_ssds + 5).n_ssds == 0
+
+    def test_negative_failures_rejected(self, server):
+        with pytest.raises(ValueError):
+            degraded_server(server, -1)
+
+
+class TestReplanning:
+    def test_replan_stays_feasible(self, episode):
+        for report in episode["replan"]:
+            assert report.outcome.feasible, report.outcome.reason
+
+    def test_replan_degrades_monotonically(self, episode):
+        tps = [report.outcome.tokens_per_s for report in episode["replan"]]
+        assert all(a >= b for a, b in zip(tps, tps[1:]))
+        assert tps[-1] < tps[0]  # failures genuinely cost throughput
+
+    def test_replan_reprofiles_surviving_array(self, episode):
+        for report in episode["replan"]:
+            assert report.measured is not None
+            assert report.server.n_ssds == 6 - report.n_failed
+
+    def test_replan_beats_stale_plan(self, episode):
+        """Algorithm 1 re-run on the degraded array never loses to the
+        schedule compiled for bandwidth that no longer exists."""
+        pairs = list(zip(episode["replan"], episode["stale"]))
+        for report, stale in pairs:
+            assert report.outcome.tokens_per_s >= stale.tokens_per_s
+        assert any(
+            report.outcome.tokens_per_s > stale.tokens_per_s for report, stale in pairs
+        )
+
+    def test_replan_zero_failures_matches_healthy_eval(self, episode):
+        profile = profile_model(llm("135B"), 40)
+        healthy = RatelPolicy().evaluate(profile, episode["server"])
+        assert episode["replan"][0].outcome.tokens_per_s == healthy.tokens_per_s
+
+
+class TestFixedPlanCollapse:
+    def test_zero_infinity_tracks_lost_bandwidth(self, episode):
+        tps = [outcome.tokens_per_s for outcome in episode["zero"]]
+        assert all(not math.isnan(t) for t in tps)
+        # Four of six drives gone: the fixed plan loses a large fraction
+        # of its throughput ...
+        assert tps[-1] < 0.65 * tps[0]
+
+    def test_replan_pulls_ahead_of_zero_under_failures(self, episode):
+        replan_final = episode["replan"][-1].outcome.tokens_per_s
+        zero_final = episode["zero"][-1].tokens_per_s
+        # ... while the replanner keeps a comfortable multiple of it.
+        assert replan_final > 2 * zero_final
+
+    def test_total_array_loss_is_infeasible(self):
+        server = evaluation_server().with_ssds(6)
+        profile = profile_model(llm("135B"), 40)
+        outcome = fixed_plan_outcome(ZeroInfinityPolicy(), profile, server, 6)
+        assert not outcome.feasible
+        assert outcome.reason
+
+
+class TestExtResilienceExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ext_resilience.run()
+
+    def test_returns_table_and_timeline(self, results):
+        table, timeline = results
+        assert table.columns == [
+            "failed",
+            "drives left",
+            "Ratel replan",
+            "Ratel stale plan",
+            "ZeRO-Infinity",
+            "status",
+        ]
+        assert [row[0] for row in table.rows] == list(FAILURES)
+        assert timeline.columns[0] == "failed at t=5s"
+        assert len(timeline.rows) == 4
+
+    def test_mid_iteration_dropouts_inflate_iteration_time(self, results):
+        _, timeline = results
+        times = [row[1] for row in timeline.rows]
+        assert all(later > times[0] for later in times[1:])
+
+    def test_renders(self, results):
+        for result in results:
+            assert "ext_resilience" in result.render()

@@ -9,16 +9,26 @@ import pytest
 from repro.baselines import ZeroInfinityPolicy
 from repro.core import RatelPolicy
 from repro.core.evaluation import EvalOutcome
+from repro.faults import (
+    CrashPolicy,
+    FaultInjected,
+    FlakyPolicy,
+    PoisonPolicy,
+    SlowPolicy,
+)
 from repro.hardware import evaluation_server
 from repro.models import llm, profile_model
 from repro.runner import (
     CacheKeyError,
+    PointFailure,
     ProgressEvent,
     ResultCache,
     Sweep,
+    SweepError,
     SweepPoint,
     cache_key,
     compute_point,
+    is_failure,
 )
 
 SERVER = evaluation_server()
@@ -223,6 +233,170 @@ class TestResultCacheUnit:
         cache.get("a")
         cache.get("missing")
         assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestProgressHookResilience:
+    def test_raising_hook_does_not_abort_the_sweep(self, caplog):
+        """S1: a broken observer must not kill the run it observes."""
+
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        sweep = Sweep(progress=explode)
+        points = grid()
+        with caplog.at_level("ERROR", logger="repro.runner"):
+            outcomes = sweep.run(points)
+        assert len(outcomes) == len(points)
+        assert all(isinstance(o, EvalOutcome) for o in outcomes)
+        assert any("progress hook raised" in r.message for r in caplog.records)
+
+    def test_raising_hook_logged_once_per_point(self, caplog):
+        calls = []
+
+        def explode(event):
+            calls.append(event)
+            raise RuntimeError("observer bug")
+
+        points = grid()
+        with caplog.at_level("ERROR", logger="repro.runner"):
+            Sweep(progress=explode).run(points)
+        assert len(calls) == len(points)
+
+
+class TestSweepValidation:
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(SweepError):
+            Sweep(on_error="shrug")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SweepError):
+            Sweep(retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(SweepError):
+            Sweep(timeout=0.0)
+
+
+class TestQuarantineSerial:
+    def test_poisoned_point_quarantined_others_complete(self):
+        sweep = Sweep(retries=1, retry_backoff_s=0.001, on_error="quarantine")
+        points = [
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(PoisonPolicy(), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 16, SERVER),
+        ]
+        outcomes = sweep.run(points)
+        assert isinstance(outcomes[0], EvalOutcome) and outcomes[0].feasible
+        assert isinstance(outcomes[2], EvalOutcome) and outcomes[2].feasible
+        failure = outcomes[1]
+        assert is_failure(failure)
+        assert failure.error_type == "FaultInjected"
+        assert failure.attempts == 2  # first try + one retry
+        assert not failure.feasible  # renders as a non-result in tables
+        assert "quarantined" in str(failure)
+
+    def test_default_mode_still_raises(self):
+        sweep = Sweep()
+        with pytest.raises(FaultInjected):
+            sweep.run([SweepPoint.evaluate(PoisonPolicy(), CONFIG, 8, SERVER)])
+
+    def test_retry_rescues_flaky_point(self, tmp_path):
+        sweep = Sweep(retries=2, retry_backoff_s=0.001, on_error="quarantine")
+        policy = FlakyPolicy(str(tmp_path), fail_times=2)
+        [outcome] = sweep.run([SweepPoint.evaluate(policy, CONFIG, 8, SERVER)])
+        assert isinstance(outcome, EvalOutcome)
+
+    def test_failures_never_cached(self, tmp_path):
+        """A quarantined point is recomputed on the next run — and can heal."""
+        sweep = Sweep(retries=0, on_error="quarantine", cache_dir=str(tmp_path / "cache"))
+        policy = FlakyPolicy(str(tmp_path), fail_times=1)
+        point = SweepPoint.evaluate(policy, CONFIG, 8, SERVER)
+        [first] = sweep.run([point])
+        assert is_failure(first)
+        [second] = sweep.run([point])  # sentinel consumed: now healthy
+        assert isinstance(second, EvalOutcome)
+
+    def test_point_failure_is_frozen_metadata(self):
+        failure = PointFailure(
+            kind="evaluate", label="x", error_type="OSError", message="boom", attempts=3
+        )
+        assert not failure.feasible
+        assert "3 attempt(s)" in str(failure)
+        assert "OSError" in str(failure)
+
+
+class TestQuarantinePool:
+    def test_worker_crash_and_poison_quarantine_only_the_poison(self, tmp_path):
+        """The acceptance scenario: one worker hard-crashes (retried after
+        the pool is rebuilt), one point always raises (quarantined); the
+        healthy points all complete."""
+        points = [
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(CrashPolicy(str(tmp_path)), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(PoisonPolicy(), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 16, SERVER),
+        ]
+        sweep = Sweep(
+            executor="process",
+            max_workers=2,
+            retries=2,
+            retry_backoff_s=0.01,
+            on_error="quarantine",
+        )
+        outcomes = sweep.run(points)
+        assert isinstance(outcomes[0], EvalOutcome) and outcomes[0].feasible
+        assert isinstance(outcomes[1], EvalOutcome)  # crash retried to success
+        assert is_failure(outcomes[2])  # only the poisoned point fails
+        assert outcomes[2].error_type == "FaultInjected"
+        assert isinstance(outcomes[3], EvalOutcome) and outcomes[3].feasible
+
+    def test_worker_crash_raises_without_retries(self, tmp_path):
+        # A second point keeps the sweep on the pool path (a single
+        # unique point with no timeout drains serially in-process).
+        sweep = Sweep(executor="process", max_workers=2, on_error="raise")
+        points = [
+            SweepPoint.evaluate(CrashPolicy(str(tmp_path)), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+        ]
+        with pytest.raises(Exception):  # noqa: B017 - BrokenProcessPool
+            sweep.run(points)
+
+    def test_flaky_point_retried_across_workers(self, tmp_path):
+        sweep = Sweep(
+            executor="process",
+            max_workers=2,
+            retries=2,
+            retry_backoff_s=0.01,
+            on_error="quarantine",
+        )
+        policy = FlakyPolicy(str(tmp_path), fail_times=2)
+        outcomes = sweep.run(
+            [
+                SweepPoint.evaluate(policy, CONFIG, 8, SERVER),
+                SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+            ]
+        )
+        assert all(isinstance(o, EvalOutcome) for o in outcomes)
+
+    def test_timeout_quarantines_slow_point_only(self):
+        sweep = Sweep(
+            executor="process", max_workers=2, timeout=0.5, on_error="quarantine"
+        )
+        outcomes = sweep.run(
+            [
+                SweepPoint.evaluate(SlowPolicy(2.0), CONFIG, 8, SERVER),
+                SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+            ]
+        )
+        assert is_failure(outcomes[0])
+        assert outcomes[0].timed_out
+        assert "timeout" in outcomes[0].message
+        assert isinstance(outcomes[1], EvalOutcome) and outcomes[1].feasible
+
+    def test_timeout_raises_in_fail_fast_mode(self):
+        sweep = Sweep(executor="process", max_workers=1, timeout=0.5, on_error="raise")
+        with pytest.raises(TimeoutError):
+            sweep.run([SweepPoint.evaluate(SlowPolicy(2.0), CONFIG, 8, SERVER)])
 
 
 class TestDeprecatedShims:

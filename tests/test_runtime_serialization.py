@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.faults import FaultInjected
 from repro.runtime import (
     CrossEntropyLoss,
     GPTModel,
+    PeriodicCheckpointer,
     RatelOptimizer,
+    checkpoint_path,
     ratel_hook,
     ratel_init,
 )
@@ -78,6 +83,191 @@ class TestCheckpointRoundtrip:
             optimizer = RatelOptimizer(other, runtime)
             with pytest.raises(CheckpointError):
                 load_checkpoint(path, other, optimizer.cpu_adam)
+
+
+def fresh_training(lr=1e-2, seed=1, dim=DIM):
+    """Model + runtime + optimizer inside the ambient ratel context."""
+    model = GPTModel(VOCAB, dim, LAYERS, HEADS, SEQ, np.random.default_rng(seed))
+    runtime = ratel_hook(model)
+    optimizer = RatelOptimizer(model, runtime, lr=lr)
+    return model, runtime, optimizer
+
+
+class TestCheckpointFailurePaths:
+    """S3: every bad-checkpoint shape raises an actionable CheckpointError."""
+
+    def test_missing_file(self, tmp_path):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training()
+            with pytest.raises(CheckpointError, match="does not exist"):
+                load_checkpoint(str(tmp_path / "nope.npz"), model, optimizer.cpu_adam)
+
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training()
+            save_checkpoint(path, optimizer.cpu_adam)
+            payload = open(path, "rb").read()
+            with open(path, "wb") as handle:
+                handle.write(payload[: len(payload) // 2])
+            with pytest.raises(CheckpointError, match="unreadable"):
+                load_checkpoint(path, model, optimizer.cpu_adam)
+
+    def test_no_version_marker(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        np.savez(path, stray=np.zeros(3))
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training()
+            with pytest.raises(CheckpointError, match="version marker"):
+                load_checkpoint(path, model, optimizer.cpu_adam)
+
+    def test_unsupported_version(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        np.savez(path, __version__=np.array([99]), __step__=np.array([0]))
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training()
+            with pytest.raises(CheckpointError, match="version 99"):
+                load_checkpoint(path, model, optimizer.cpu_adam)
+
+    def test_shape_mismatch_names_the_configuration(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            _, _, optimizer = fresh_training(dim=DIM)
+            save_checkpoint(path, optimizer.cpu_adam)
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training(dim=2 * DIM)
+            with pytest.raises(CheckpointError, match="different model configuration"):
+                load_checkpoint(path, model, optimizer.cpu_adam)
+
+    def test_failed_load_leaves_training_state_untouched(self, tmp_path):
+        """Validation runs before installation: a bad file mutates nothing."""
+        loss_fn = CrossEntropyLoss()
+        [(ids, targets)] = batches(1)
+        path = str(tmp_path / "ckpt.npz")
+        np.savez(path, __version__=np.array([99]), __step__=np.array([0]))
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            runtime.train_step(lambda: loss_fn(model(ids), targets))
+            params_before = {n: p.data.copy() for n, p in model.named_parameters()}
+            masters_before = {
+                n: optimizer.cpu_adam.master_weights(n) for n in optimizer.cpu_adam.params
+            }
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path, model, optimizer.cpu_adam)
+            for name, param in model.named_parameters():
+                np.testing.assert_array_equal(param.data, params_before[name])
+            for name in masters_before:
+                np.testing.assert_array_equal(
+                    optimizer.cpu_adam.master_weights(name), masters_before[name]
+                )
+
+
+class TestAtomicSave:
+    def test_save_returns_npz_path_and_cleans_tmp(self, tmp_path):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            _, _, optimizer = fresh_training()
+            final = save_checkpoint(str(tmp_path / "ckpt"), optimizer.cpu_adam)
+        assert final.endswith(".npz")
+        assert os.path.exists(final)
+        assert not [name for name in os.listdir(tmp_path) if name.endswith(".tmp")]
+
+    def test_interrupted_save_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "ckpt.npz")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, _, optimizer = fresh_training()
+            save_checkpoint(path, optimizer.cpu_adam, step=1)
+            good = open(path, "rb").read()
+
+            def torn_write(handle, **payload):
+                handle.write(b"partial")
+                raise OSError("disk full")
+
+            monkeypatch.setattr(np, "savez", torn_write)
+            with pytest.raises(OSError):
+                save_checkpoint(path, optimizer.cpu_adam, step=2)
+            monkeypatch.undo()
+
+            assert open(path, "rb").read() == good  # previous file untouched
+            assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+            assert load_checkpoint(path, model, optimizer.cpu_adam) == 1
+
+
+class TestPeriodicCheckpointer:
+    def test_cadence(self, tmp_path):
+        loss_fn = CrossEntropyLoss()
+        data = batches(5)
+        path = str(tmp_path / "periodic")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            ckpt = PeriodicCheckpointer(path, optimizer.cpu_adam, every_n_steps=2)
+            runtime.add_step_hook(ckpt)
+            for ids, targets in data:
+                runtime.train_step(lambda ids=ids, targets=targets: loss_fn(model(ids), targets))
+            assert ckpt.saved_steps == [2, 4]
+            step = load_checkpoint(checkpoint_path(path), model, optimizer.cpu_adam)
+            assert step == 4
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer("x", optimizer=None, every_n_steps=0)
+
+    def test_non_callable_hook_rejected(self):
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, _ = fresh_training()
+            with pytest.raises(TypeError):
+                runtime.add_step_hook("not callable")
+
+
+class TestCrashResume:
+    def test_mid_step_crash_resumes_bit_exact(self, tmp_path):
+        """The acceptance scenario: training killed mid-step resumes from
+        the periodic checkpoint with bit-exact parameters AND optimizer
+        state (compared member-for-member through save_checkpoint)."""
+        loss_fn = CrossEntropyLoss()
+        data = batches(6)
+        periodic = str(tmp_path / "periodic")
+
+        # Reference: six uninterrupted steps.
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            for ids, targets in data:
+                runtime.train_step(lambda ids=ids, targets=targets: loss_fn(model(ids), targets))
+            reference_params = {n: p.data.copy() for n, p in model.named_parameters()}
+            ref_state = save_checkpoint(str(tmp_path / "reference"), optimizer.cpu_adam, step=6)
+
+        # Crashy run: checkpoint every 2 steps, power loss mid-step 5.
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            ckpt = PeriodicCheckpointer(periodic, optimizer.cpu_adam, every_n_steps=2)
+            runtime.add_step_hook(ckpt)
+            with pytest.raises(FaultInjected):
+                for step, (ids, targets) in enumerate(data, start=1):
+
+                    def closure(ids=ids, targets=targets, step=step):
+                        loss = loss_fn(model(ids), targets)
+                        if step == 5:
+                            raise FaultInjected("simulated power loss mid-step")
+                        return loss
+
+                    runtime.train_step(closure)
+            assert ckpt.saved_steps == [2, 4]  # step 5 never completed
+
+        # Restart from the newest complete checkpoint; replay steps 5-6.
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training(seed=77)  # wrong init: must be overwritten
+            step = load_checkpoint(checkpoint_path(periodic), model, optimizer.cpu_adam)
+            assert step == 4
+            for ids, targets in data[step:]:
+                runtime.train_step(lambda ids=ids, targets=targets: loss_fn(model(ids), targets))
+            resumed_params = {n: p.data.copy() for n, p in model.named_parameters()}
+            res_state = save_checkpoint(str(tmp_path / "resumed"), optimizer.cpu_adam, step=6)
+
+        for name in reference_params:
+            np.testing.assert_array_equal(reference_params[name], resumed_params[name])
+        with np.load(ref_state) as ref, np.load(res_state) as res:
+            assert set(ref.files) == set(res.files)
+            for key in ref.files:
+                np.testing.assert_array_equal(ref[key], res[key], err_msg=key)
 
 
 class TestGradientAccumulation:

@@ -117,6 +117,14 @@ class TestSpill:
             stored.data(), original.astype(np.float16).astype(np.float32)
         )
 
+    def test_fp16_restored_at_fp16_width(self, manager, rng):
+        """Reload keeps the storage dtype: resident bytes match accounting."""
+        stored = manager.put("x", rng.normal(size=(1000,)), HOST, itemsize=2)
+        manager.move(stored, NVME)
+        manager.move(stored, HOST)
+        assert stored.data().dtype == np.float16
+        assert stored.data().nbytes == stored.nbytes == 2000
+
     def test_spill_files_cleaned_on_drop(self, manager, rng, tmp_path):
         stored = manager.put("x", rng.normal(size=(1000,)), NVME)
         assert len(os.listdir(tmp_path)) == 1
