@@ -1,0 +1,152 @@
+"""Diff freshly measured ``BENCH_*.json`` files against a git baseline.
+
+CI regenerates the bench-smoke timings, then runs::
+
+    python benchmarks/diff_bench.py --baseline-ref HEAD
+
+which compares every numeric *timing* leaf (keys ending in ``_s`` —
+seconds, where bigger is worse) in ``benchmarks/results/BENCH_*.json``
+against the copy committed at the baseline ref.  Slowdowns beyond the
+threshold (default 10%) are flagged; the rendered markdown table goes to
+stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, into the job summary.
+
+The step is informational: shared-runner timings are noisy, so the
+default exit code is 0 even with regressions (CI additionally marks the
+step ``continue-on-error``).  Pass ``--fail-on-regression`` locally to
+get a non-zero exit instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def timing_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten to ``{dotted.path: seconds}`` for keys ending in ``_s``."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                leaves.update(timing_leaves(value, path))
+            elif isinstance(value, (int, float)) and str(key).endswith("_s"):
+                leaves[path] = float(value)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            leaves.update(timing_leaves(value, f"{prefix}[{index}]"))
+    return leaves
+
+
+def baseline_payload(ref: str, repo_path: str):
+    """The file as committed at ``ref``, or ``None`` when absent there."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{repo_path}"],
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))) or ".",
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def diff_file(name: str, current, baseline, threshold_pct: float) -> list[dict]:
+    """Rows comparing every timing leaf present on both sides."""
+    rows = []
+    old = timing_leaves(baseline)
+    for path, new_value in sorted(timing_leaves(current).items()):
+        old_value = old.get(path)
+        if old_value is None or old_value <= 0:
+            continue
+        change_pct = (new_value - old_value) / old_value * 100
+        rows.append(
+            {
+                "file": name,
+                "metric": path,
+                "baseline_s": old_value,
+                "current_s": new_value,
+                "change_pct": change_pct,
+                "regressed": change_pct > threshold_pct,
+            }
+        )
+    return rows
+
+
+def render_markdown(rows: list[dict], threshold_pct: float, ref: str) -> str:
+    lines = [f"### Bench diff vs `{ref}` (flagging > {threshold_pct:.0f}% slowdowns)", ""]
+    if not rows:
+        lines.append("No committed baseline timings to compare against.")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "| file | metric | baseline | current | change | |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        flag = ":warning: regression" if row["regressed"] else ""
+        lines.append(
+            f"| {row['file']} | {row['metric']} | {row['baseline_s'] * 1e3:.1f} ms "
+            f"| {row['current_s'] * 1e3:.1f} ms | {row['change_pct']:+.1f}% | {flag} |"
+        )
+    regressions = [r for r in rows if r["regressed"]]
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"**{len(regressions)} timing(s) regressed more than "
+            f"{threshold_pct:.0f}%** (noisy-runner caveat applies)."
+        )
+    else:
+        lines.append(f"No regressions beyond {threshold_pct:.0f}%.")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-ref", default="HEAD",
+        help="git ref holding the committed baseline (default: HEAD)",
+    )
+    parser.add_argument(
+        "--threshold-pct", type=float, default=10.0,
+        help="flag slowdowns beyond this percentage (default: 10)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when any timing regressed past the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    rows: list[dict] = []
+    for path in sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        with open(path) as handle:
+            current = json.load(handle)
+        baseline = baseline_payload(args.baseline_ref, f"benchmarks/results/{name}")
+        if baseline is None:
+            print(f"note: no baseline for {name} at {args.baseline_ref}; skipping")
+            continue
+        rows.extend(diff_file(name, current, baseline, args.threshold_pct))
+
+    report = render_markdown(rows, args.threshold_pct, args.baseline_ref)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report)
+
+    if args.fail_on_regression and any(row["regressed"] for row in rows):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

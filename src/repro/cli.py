@@ -13,6 +13,9 @@ Commands:
   (``fig1`` ... ``fig13``, or ``all``) and print the tables.
 * ``trace``       — export one simulated Ratel iteration as a
   Chrome/Perfetto trace JSON (the Fig. 1 timeline, interactive).
+* ``obs report``  — bottleneck attribution for one workload: the
+  per-stage, per-resource busy/stall/idle table, the binding resource of
+  each stage, and planned-vs-actual iteration time (``repro.obs``).
 
 Every evaluation routes through the shared :class:`repro.runner.Sweep`;
 ``--jobs`` fans grid points across a process pool and ``--cache-dir``
@@ -100,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("model", choices=sorted(LLM_PRESETS))
     trace.add_argument("batch", type=int)
     trace.add_argument("-o", "--output", default="iteration.json")
+
+    obs = sub.add_parser("obs", help="observability: attribution, metrics")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="per-stage busy/stall/idle bottleneck attribution"
+    )
+    _server_args(obs_report)
+    obs_report.add_argument("model", choices=sorted(LLM_PRESETS), help="Table IV model")
+    obs_report.add_argument("batch", type=int, help="batch size")
+    obs_report.add_argument(
+        "--system", choices=sorted(_SYSTEMS), default="ratel",
+        help="system to attribute (default: ratel)",
+    )
+    obs_report.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also export the iteration as a Chrome/Perfetto trace JSON",
+    )
+    obs_report.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the evaluation's sweep metrics as Prometheus text",
+    )
     return parser
 
 
@@ -298,6 +322,40 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_obs(args, out) -> int:
+    return {"report": cmd_obs_report}[args.obs_command](args, out)
+
+
+def cmd_obs_report(args, out) -> int:
+    server = _server_from(args)
+    policy = _SYSTEMS[args.system]()
+    sweep = runner.default_sweep()
+    outcome = sweep.evaluate(policy, llm(args.model), args.batch, server, detail=True)
+    if not outcome.feasible:
+        print(
+            f"{policy.name}: {args.model} at batch {args.batch} does NOT fit: "
+            f"{outcome.reason}",
+            file=out,
+        )
+        return 1
+    report = outcome.attribution()
+    print(
+        f"bottleneck attribution: {policy.name} / {args.model} batch {args.batch} "
+        f"on {server.gpu.name} / {args.memory_gb} GiB / {args.ssds} SSDs",
+        file=out,
+    )
+    print(report.render(), file=out)
+    if args.trace:
+        result = outcome.require_result()
+        write_chrome_trace(result.trace, args.trace, stage_windows=result.stage_windows)
+        print(f"wrote {args.trace} ({len(result.trace.intervals)} events)", file=out)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(sweep.metrics().to_prometheus())
+        print(f"wrote {args.metrics}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -309,5 +367,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "experiments": cmd_experiments,
         "report": cmd_report,
         "trace": cmd_trace,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args, out)

@@ -25,6 +25,8 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
+from repro.obs.attribution import AttributionReport, attribute
+
 from .engine import IterationResult
 
 #: Resources whose per-stage busy fractions are captured into ``metrics``
@@ -69,8 +71,14 @@ class PlanSummary:
         )
 
 
-def collect_metrics(result: IterationResult) -> dict[str, Any]:
-    """Flatten an :class:`IterationResult` into the cacheable metrics dict."""
+def collect_metrics(result: IterationResult, estimate: Any = None) -> dict[str, Any]:
+    """Flatten an :class:`IterationResult` into the cacheable metrics dict.
+
+    ``estimate`` (an Algorithm-1
+    :class:`~repro.core.iteration_model.IterationEstimate`, when the
+    policy planned one) feeds the predicted-vs-actual comparison inside
+    the bottleneck-attribution block.
+    """
     metrics: dict[str, Any] = {name: getattr(result, name) for name in _SCALAR_METRICS}
     metrics["utilization"] = {
         stage: {
@@ -79,6 +87,10 @@ def collect_metrics(result: IterationResult) -> dict[str, Any]:
         }
         for stage in result.stage_windows
     }
+    report = attribute(result.trace, result.stage_windows, predicted=estimate)
+    metrics["attribution"] = report.to_payload()
+    if report.predicted_time is not None:
+        metrics["predicted_iteration_time"] = report.predicted_time
     return metrics
 
 
@@ -152,6 +164,11 @@ class EvalOutcome:
         """Separate optimizer-stage seconds (0 under active offloading)."""
         return self._metric("optimizer_time")
 
+    @property
+    def predicted_iteration_time(self) -> float:
+        """Algorithm-1's planned T_iter (NaN when no plan was made)."""
+        return self._metric("predicted_iteration_time")
+
     def utilization(self, resource: str, stage: str) -> float:
         """Busy fraction of ``resource`` within one stage window (Fig. 1)."""
         table = self.metrics.get("utilization") or {}
@@ -161,6 +178,19 @@ class EvalOutcome:
         if self.result is not None:
             return self.result.utilization(resource, stage)
         return 0.0
+
+    def attribution(self) -> AttributionReport | None:
+        """The bottleneck-attribution report for this point, if simulated.
+
+        Rehydrated from the cached metrics payload when present (cache
+        hits included); ``None`` for points that were never simulated.
+        """
+        payload = self.metrics.get("attribution")
+        if payload is not None:
+            return AttributionReport.from_payload(payload)
+        if self.result is not None:
+            return attribute(self.result.trace, self.result.stage_windows)
+        return None
 
     def require_result(self) -> IterationResult:
         """The live simulation result, or an error explaining its absence."""

@@ -98,10 +98,16 @@ class OffloadPolicy(abc.ABC):
         feasible = reason is None
 
         plan = None
+        estimate = None
         if supported:
             planner = getattr(self, "plan", None)
             if callable(planner):
-                plan = PlanSummary.from_plan(planner(profile, server))
+                raw_plan = planner(profile, server)
+                plan = PlanSummary.from_plan(raw_plan)
+                # The Ratel family's SwapPlan carries the Algorithm-1
+                # IterationEstimate; it seeds the predicted-vs-actual
+                # comparison in the attribution metrics.
+                estimate = getattr(raw_plan, "estimate", None)
 
         result = None
         metrics: dict = {}
@@ -110,7 +116,7 @@ class OffloadPolicy(abc.ABC):
             # that override it — Megatron's tensor-parallel aggregation —
             # keep their semantics; feasibility was already decided above.
             result = self.simulate(profile, server, check=False)
-            metrics = collect_metrics(result)
+            metrics = collect_metrics(result, estimate=estimate)
 
         return EvalOutcome(
             policy=self.name,

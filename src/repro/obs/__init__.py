@@ -1,0 +1,81 @@
+"""``repro.obs`` — unified observability: metrics, spans, attribution.
+
+Three pillars, all dependency-free:
+
+* :mod:`~repro.obs.metrics` — a registry of labelled counters, gauges
+  and histograms with snapshot/merge semantics (process-pool sweep
+  workers ship snapshots back to the parent) and JSON-lines /
+  Prometheus-text exporters;
+* :mod:`~repro.obs.spans` — wall-clock span tracing for the NumPy
+  runtime, recorded into the simulator's own
+  :class:`~repro.sim.trace.Trace` model so one Chrome-trace export
+  renders sim and runtime timelines side by side.  Off by default, free
+  when off;
+* :mod:`~repro.obs.attribution` — per-stage, per-resource
+  busy/stall/idle accounting that names each stage's binding resource
+  and compares planned (Algorithm 1) vs actual times.
+
+Surfaced through ``repro obs report`` on the CLI, the ``attribution``
+block inside every simulated :class:`~repro.core.evaluation.EvalOutcome`
+``metrics`` dict, and the sweep runner's per-sweep registry.
+"""
+
+from .attribution import (
+    MODEL_TO_TRACE,
+    AttributionReport,
+    ResourceUsage,
+    StageBreakdown,
+    attribute,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    RegistrySnapshot,
+    Sample,
+    default_registry,
+    reset_default_registry,
+)
+from .spans import (
+    RT_CPU_ADAM,
+    RT_SSD,
+    RT_STEP,
+    SpanRecorder,
+    disable,
+    enable,
+    link_lane,
+    maybe_span,
+    observe,
+    recorder,
+)
+
+__all__ = [
+    "MODEL_TO_TRACE",
+    "AttributionReport",
+    "ResourceUsage",
+    "StageBreakdown",
+    "attribute",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "Sample",
+    "default_registry",
+    "reset_default_registry",
+    "RT_CPU_ADAM",
+    "RT_SSD",
+    "RT_STEP",
+    "SpanRecorder",
+    "disable",
+    "enable",
+    "link_lane",
+    "maybe_span",
+    "observe",
+    "recorder",
+]

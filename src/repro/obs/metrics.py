@@ -1,0 +1,431 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The registry is the numeric half of :mod:`repro.obs`.  Instrumented code
+increments :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments
+obtained from a :class:`MetricsRegistry`; consumers read an immutable
+:class:`RegistrySnapshot`, which is JSON-serialisable (so process-pool
+sweep workers can ship their metrics back to the parent) and *mergeable*
+(counters and histograms add, gauges keep the newest value), so N worker
+snapshots collapse into one registry with correct totals.
+
+Exporters cover the two formats everything downstream speaks:
+
+* :meth:`RegistrySnapshot.to_jsonl` — one JSON object per sample line,
+  greppable and appendable;
+* :meth:`RegistrySnapshot.to_prometheus` — the Prometheus text
+  exposition format (``# TYPE`` headers, ``{label="..."}`` series,
+  ``_bucket``/``_sum``/``_count`` for histograms).
+
+Dependency-free and thread-safe: one lock per registry guards the
+instrument table; individual increments are small critical sections.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+class MetricsError(ValueError):
+    """Raised for invalid metric names, types or label use."""
+
+
+def _labels_key(labels: Mapping[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum (events, bytes, failures)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[Labels, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current total of one labelled series (0 when never touched)."""
+        return self._values.get(_labels_key(labels), 0.0)
+
+    def _collect(self) -> list["Sample"]:
+        with self._lock:
+            return [Sample(self.name, self.kind, dict(k), v) for k, v in self._values.items()]
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, bytes resident)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: dict[Labels, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[_labels_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust the labelled series by ``amount`` (may be negative)."""
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 when never set)."""
+        return self._values.get(_labels_key(labels), 0.0)
+
+    def _collect(self) -> list["Sample"]:
+        with self._lock:
+            return [Sample(self.name, self.kind, dict(k), v) for k, v in self._values.items()]
+
+
+@dataclass
+class _HistogramSeries:
+    counts: list[int]
+    total: float = 0.0
+    n: int = 0
+
+
+class Histogram:
+    """A distribution over fixed buckets (latencies, sizes).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail, so every observation lands somewhere.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise MetricsError(f"histogram {self.name!r} needs at least one bucket")
+        self._series: dict[Labels, _HistogramSeries] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = _labels_key(labels)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    counts=[0] * (len(self.buckets) + 1)
+                )
+            series.counts[index] += 1
+            series.total += value
+            series.n += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations in one labelled series."""
+        series = self._series.get(_labels_key(labels))
+        return series.n if series is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations in one labelled series."""
+        series = self._series.get(_labels_key(labels))
+        return series.total if series is not None else 0.0
+
+    def _collect(self) -> list["Sample"]:
+        with self._lock:
+            return [
+                Sample(
+                    self.name,
+                    self.kind,
+                    dict(key),
+                    series.total,
+                    count=series.n,
+                    buckets=list(zip(self.buckets, series.counts)),
+                    overflow=series.counts[-1],
+                )
+                for key, series in self._series.items()
+            ]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One labelled series of one instrument, frozen at snapshot time.
+
+    For counters/gauges ``value`` is the number; for histograms it is the
+    sum, with ``count``/``buckets``/``overflow`` carrying the shape
+    (``buckets`` pairs each upper bound with the count that landed in
+    that bucket — *not* cumulative; the exporter accumulates).
+    """
+
+    name: str
+    kind: str
+    labels: dict[str, str]
+    value: float
+    count: int | None = None
+    buckets: list[tuple[float, int]] | None = None
+    overflow: int | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.labels,
+            "value": self.value,
+        }
+        if self.kind == "histogram":
+            payload["count"] = self.count
+            payload["buckets"] = [[bound, n] for bound, n in (self.buckets or [])]
+            payload["overflow"] = self.overflow
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Sample":
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            labels=dict(payload.get("labels", {})),
+            value=float(payload["value"]),
+            count=payload.get("count"),
+            buckets=[(float(b), int(n)) for b, n in payload.get("buckets") or []] or None,
+            overflow=payload.get("overflow"),
+        )
+
+
+@dataclass
+class RegistrySnapshot:
+    """An immutable, serialisable, mergeable view of a registry."""
+
+    samples: list[Sample] = field(default_factory=list)
+
+    def get(self, name: str, **labels: str) -> Sample | None:
+        """The sample for one instrument/label combination, if present."""
+        want = dict((str(k), str(v)) for k, v in labels.items())
+        for sample in self.samples:
+            if sample.name == name and sample.labels == want:
+                return sample
+        return None
+
+    def value(self, name: str, **labels: str) -> float:
+        """Value of one series (0 when absent — counters start at zero)."""
+        sample = self.get(name, **labels)
+        return sample.value if sample is not None else 0.0
+
+    # -- merge -----------------------------------------------------------------
+
+    def merged(self, *others: "RegistrySnapshot") -> "RegistrySnapshot":
+        """Combine snapshots: counters/histograms add, gauges keep last.
+
+        The merge is what lets each process-pool sweep worker meter its
+        own work and the parent fold every worker snapshot into one
+        registry view with correct totals.
+        """
+        table: dict[tuple[str, Labels], Sample] = {}
+        for snapshot in (self, *others):
+            for sample in snapshot.samples:
+                key = (sample.name, _labels_key(sample.labels))
+                held = table.get(key)
+                if held is None:
+                    table[key] = sample
+                    continue
+                if held.kind != sample.kind:
+                    raise MetricsError(
+                        f"metric {sample.name!r} is a {held.kind} in one snapshot "
+                        f"and a {sample.kind} in another"
+                    )
+                table[key] = _merge_pair(held, sample)
+        return RegistrySnapshot(samples=sorted(
+            table.values(), key=lambda s: (s.name, sorted(s.labels.items()))
+        ))
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """JSON-serialisable list of sample payloads."""
+        return [sample.to_payload() for sample in self.samples]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[Mapping[str, Any]]) -> "RegistrySnapshot":
+        return cls(samples=[Sample.from_payload(item) for item in payload])
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line — append-friendly, greppable."""
+        return "\n".join(json.dumps(sample.to_payload(), sort_keys=True) for sample in self.samples)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for sample in self.samples:
+            if sample.name not in seen_types:
+                seen_types.add(sample.name)
+                lines.append(f"# TYPE {sample.name} {sample.kind}")
+            if sample.kind != "histogram":
+                lines.append(f"{sample.name}{_prom_labels(sample.labels)} {_prom_num(sample.value)}")
+                continue
+            cumulative = 0
+            for bound, count in sample.buckets or []:
+                cumulative += count
+                labels = dict(sample.labels, le=_prom_num(bound))
+                lines.append(f"{sample.name}_bucket{_prom_labels(labels)} {cumulative}")
+            labels = dict(sample.labels, le="+Inf")
+            lines.append(f"{sample.name}_bucket{_prom_labels(labels)} {sample.count}")
+            lines.append(f"{sample.name}_sum{_prom_labels(sample.labels)} {_prom_num(sample.value)}")
+            lines.append(f"{sample.name}_count{_prom_labels(sample.labels)} {sample.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merge_pair(a: Sample, b: Sample) -> Sample:
+    if a.kind == "gauge":
+        return b  # latest wins
+    if a.kind == "counter":
+        return Sample(a.name, a.kind, a.labels, a.value + b.value)
+    buckets_a = dict(a.buckets or [])
+    for bound, count in b.buckets or []:
+        buckets_a[bound] = buckets_a.get(bound, 0) + count
+    merged = sorted(buckets_a.items())
+    return Sample(
+        a.name,
+        a.kind,
+        a.labels,
+        a.value + b.value,
+        count=(a.count or 0) + (b.count or 0),
+        buckets=merged,
+        overflow=(a.overflow or 0) + (b.overflow or 0),
+    )
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """A named table of instruments; the unit of snapshot and merge.
+
+    ``counter``/``gauge``/``histogram`` get-or-create: repeated calls
+    with the same name return the same instrument (asking for a name
+    under a different kind raises).  ``snapshot()`` freezes every series
+    into a :class:`RegistrySnapshot`; ``merge()`` folds a snapshot from
+    elsewhere (a worker process) into this registry's totals.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+        #: Snapshots merged in from elsewhere (worker processes).
+        self._merged: list[RegistrySnapshot] = []
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            held = self._instruments.get(name)
+            if held is None:
+                held = self._instruments[name] = Histogram(name, help, buckets)
+            elif not isinstance(held, Histogram):
+                raise MetricsError(
+                    f"metric {name!r} already registered as a {held.kind}, not a histogram"
+                )
+            return held
+
+    def _get(self, name: str, cls, help: str):
+        with self._lock:
+            held = self._instruments.get(name)
+            if held is None:
+                held = self._instruments[name] = cls(name, help)
+            elif not isinstance(held, cls):
+                raise MetricsError(
+                    f"metric {name!r} already registered as a {held.kind}, not a {cls.kind}"
+                )
+            return held
+
+    def merge(self, snapshot: RegistrySnapshot) -> None:
+        """Fold a foreign snapshot into this registry's reported totals."""
+        with self._lock:
+            self._merged.append(snapshot)
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Freeze every local series plus every merged-in snapshot."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            merged = list(self._merged)
+        local = RegistrySnapshot(
+            samples=[sample for instrument in instruments for sample in instrument._collect()]
+        )
+        if not merged:
+            local.samples.sort(key=lambda s: (s.name, sorted(s.labels.items())))
+            return local
+        return local.merged(*merged)
+
+
+_default_registry: MetricsRegistry | None = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry shared by instrumentation sites."""
+    global _default_registry
+    if _default_registry is None:
+        with _default_lock:
+            if _default_registry is None:
+                _default_registry = MetricsRegistry()
+    return _default_registry
+
+
+def reset_default_registry() -> None:
+    """Drop the process-wide registry (tests; next use builds a fresh one)."""
+    global _default_registry
+    with _default_lock:
+        _default_registry = None

@@ -1,0 +1,158 @@
+"""Wall-clock span tracing for the runtime substrate.
+
+The simulator records what *would* happen; the spans here record what the
+NumPy runtime *actually does*: each instrumented region —
+``RatelRuntime.train_step`` stages, :class:`StorageManager` tier moves
+and spill I/O, :class:`CPUAdam` update batches — becomes a
+:class:`~repro.sim.trace.TraceInterval` in an ordinary
+:class:`~repro.sim.trace.Trace`.  Reusing the simulator's trace model is
+the point: one :func:`repro.sim.write_chrome_trace` call renders sim and
+runtime timelines in the same Perfetto swim-lanes, and the bottleneck
+attribution in :mod:`repro.obs.attribution` works on either.
+
+Instrumentation is **off by default and free when off**: sites call
+:func:`recorder`, a plain module-global read returning ``None`` unless a
+:func:`observe` block (or :func:`enable`) is active, and skip all timing
+work on ``None``.  ``bench_obs.py`` holds the <2% disabled-overhead bar.
+
+Runtime lanes are namespaced ``rt_*`` (``rt_step``, ``rt_gpu2host``,
+``rt_ssd``, ``rt_cpu_adam``, ...) so they never collide with the
+simulator's ``gpu0``/``pcie_*``/``ssd`` lanes in a merged trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator
+
+from repro.sim.trace import Trace
+
+from .metrics import MetricsRegistry
+
+#: Runtime lane names (kept here so exporters and tests share one list).
+RT_STEP = "rt_step"
+RT_COMPUTE = "rt_compute"
+RT_SSD = "rt_ssd"
+RT_CPU_ADAM = "rt_cpu_adam"
+
+
+def link_lane(source: str, dest: str) -> str:
+    """Runtime lane name for one storage-tier hop (e.g. ``rt_gpu2host``)."""
+    return f"rt_{source}2{dest}"
+
+
+class SpanRecorder:
+    """Collects runtime spans into a :class:`Trace` with a zero origin.
+
+    ``clock`` defaults to :func:`time.perf_counter`; the first recorded
+    instant becomes t=0 so exported timelines start at the origin like
+    simulator traces do.  ``registry`` (optional) receives derived
+    metrics alongside the spans: span counts and busy seconds per lane.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._clock = clock
+        self._origin = clock()
+        self.trace = Trace()
+        self.stage_windows: dict[str, tuple[float, float]] = {}
+        self.registry = registry
+
+    def now(self) -> float:
+        """Seconds since this recorder's origin."""
+        return self._clock() - self._origin
+
+    @contextlib.contextmanager
+    def span(self, resource: str, label: str, amount: float = 0.0) -> Iterator[None]:
+        """Record the enclosed region as one busy interval on ``resource``."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            end = self.now()
+            self.trace.record(resource, label, start, end, amount)
+            if self.registry is not None:
+                self.registry.counter("rt_spans_total").inc(lane=resource)
+                self.registry.counter("rt_busy_seconds_total").inc(end - start, lane=resource)
+                if amount:
+                    self.registry.counter("rt_amount_total").inc(amount, lane=resource)
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Record the enclosed region as a stage window (Perfetto marker)."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.stage_windows[name] = (start, self.now())
+
+
+#: The active recorder; ``None`` means instrumentation is disabled and
+#: every site returns after one global read — the zero-overhead path.
+_active: SpanRecorder | None = None
+
+#: One shared no-op context manager (enter/exit are stateless), so the
+#: disabled path of :func:`maybe_span` allocates nothing.
+_NULL = contextlib.nullcontext()
+
+
+def recorder() -> SpanRecorder | None:
+    """The active :class:`SpanRecorder`, or ``None`` when disabled."""
+    return _active
+
+
+def maybe_span(resource: str, label: str, amount: float = 0.0):
+    """A span on the active recorder, or a shared no-op when disabled.
+
+    The one-liner instrumentation sites use::
+
+        with spans.maybe_span(spans.RT_SSD, f"spill:{name}", nbytes):
+            ...the I/O...
+    """
+    rec = _active
+    if rec is None:
+        return _NULL
+    return rec.span(resource, label, amount)
+
+
+def enable(recorder_obj: SpanRecorder | None = None) -> SpanRecorder:
+    """Turn runtime instrumentation on (idempotent; returns the recorder)."""
+    global _active
+    if recorder_obj is not None:
+        _active = recorder_obj
+    elif _active is None:
+        _active = SpanRecorder()
+    return _active
+
+
+def disable() -> None:
+    """Turn runtime instrumentation off (sites go back to the free path)."""
+    global _active
+    _active = None
+
+
+@contextlib.contextmanager
+def observe(
+    registry: MetricsRegistry | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Iterator[SpanRecorder]:
+    """Enable instrumentation for a ``with`` block; yields the recorder.
+
+    ::
+
+        with obs.observe() as rec:
+            runtime.train_step(loss_fn)
+        write_chrome_trace(rec.trace, "runtime.json",
+                           stage_windows=rec.stage_windows)
+    """
+    previous = _active
+    rec = SpanRecorder(clock=clock, registry=registry)
+    enable(rec)
+    try:
+        yield rec
+    finally:
+        enable(previous) if previous is not None else disable()

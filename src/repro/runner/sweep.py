@@ -52,6 +52,7 @@ from repro.core.multi_gpu import max_global_batch, run_data_parallel
 from repro.core.policy import OffloadPolicy
 from repro.hardware.spec import ServerSpec
 from repro.models.profile import profile_model
+from repro.obs.metrics import MetricsRegistry, RegistrySnapshot
 
 from .cache import DISK, ResultCache
 from .keys import cache_key
@@ -269,8 +270,22 @@ def _decode(envelope: dict[str, Any]) -> Any:
 
 
 def _pool_compute(point: SweepPoint) -> dict[str, Any]:
-    """Process-pool worker: compute and return the serialisable envelope."""
-    return _encode(compute_point(point))
+    """Process-pool worker: compute, meter, and return the envelope.
+
+    Each worker meters its own work into a private registry and ships
+    the snapshot alongside the payload; the parent folds every worker
+    snapshot into the sweep's registry, so counters stay correct across
+    any number of processes.
+    """
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    envelope = _encode(compute_point(point))
+    registry.counter("worker_points_total").inc(kind=point.kind)
+    registry.histogram("worker_compute_seconds").observe(
+        time.perf_counter() - started, kind=point.kind
+    )
+    envelope["worker_metrics"] = registry.snapshot().to_payload()
+    return envelope
 
 
 @dataclass
@@ -298,6 +313,12 @@ class Sweep:
     * ``on_error`` — ``"raise"`` (default) propagates the final failure
       and aborts the sweep; ``"quarantine"`` converts it into a
       :class:`PointFailure` in the point's result slot and keeps going.
+
+    Every sweep owns a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``registry``, injectable): progress events, cache hits/misses,
+    retries, timeouts, quarantined failures and pool rebuilds are all
+    counted, and process-pool workers ship their own metered snapshots
+    back for merging — ``metrics()`` returns the combined view.
     """
 
     executor: str = "serial"
@@ -309,6 +330,7 @@ class Sweep:
     retry_backoff_s: float = 0.05
     timeout: float | None = None
     on_error: str = "raise"
+    registry: MetricsRegistry = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -323,11 +345,17 @@ class Sweep:
             raise SweepError(f"timeout must be positive, got {self.timeout}")
         if self.cache is None:
             self.cache = ResultCache(disk_dir=self.cache_dir)
+        if self.registry is None:
+            self.registry = MetricsRegistry()
 
     @property
     def stats(self):
         """Hit/miss counters of the underlying cache."""
         return self.cache.stats
+
+    def metrics(self) -> RegistrySnapshot:
+        """Snapshot of this sweep's registry (worker snapshots merged in)."""
+        return self.registry.snapshot()
 
     # -- single-point API ------------------------------------------------------
 
@@ -386,7 +414,9 @@ class Sweep:
         key = point.key()
         cached = self._lookup(key)
         if cached is not _MISS:
+            self.registry.counter("sweep_cache_hits_total").inc(kind=point.kind)
             return cached
+        self.registry.counter("sweep_cache_misses_total").inc(kind=point.kind)
         started = time.perf_counter()
         value = self._compute_resilient(point)
         if not isinstance(value, PointFailure):
@@ -428,9 +458,11 @@ class Sweep:
                 continue
             cached = self._lookup(key)
             if cached is not _MISS:
+                self.registry.counter("sweep_cache_hits_total").inc(kind=point.kind)
                 results[index] = cached
                 self._report(index, total, point, cached=True, started=started, value=cached)
             else:
+                self.registry.counter("sweep_cache_misses_total").inc(kind=point.kind)
                 pending[key] = [index]
                 unique[key] = point
 
@@ -458,12 +490,14 @@ class Sweep:
         delay = self.retry_backoff_s
         attempts = self.retries + 1
         for attempt in range(1, attempts + 1):
+            started = time.perf_counter()
             try:
-                return compute_point(point)
+                value = compute_point(point)
             except SweepError:
                 raise  # malformed points are a caller bug, not a transient fault
             except Exception as exc:  # noqa: BLE001 — resilience boundary
                 if attempt < attempts:
+                    self.registry.counter("sweep_retries_total").inc(kind=point.kind)
                     logger.warning(
                         "point %s failed (attempt %d/%d): %s; retrying in %.3fs",
                         point.label(), attempt, attempts, exc, delay,
@@ -478,6 +512,9 @@ class Sweep:
                     "quarantining point %s after %d attempt(s): %s",
                     point.label(), attempt, exc,
                 )
+                self.registry.counter("sweep_failures_total").inc(
+                    kind=point.kind, error=type(exc).__name__
+                )
                 return PointFailure(
                     kind=point.kind,
                     label=point.label(),
@@ -485,6 +522,10 @@ class Sweep:
                     message=str(exc),
                     attempts=attempt,
                 )
+            self.registry.histogram("sweep_point_seconds").observe(
+                time.perf_counter() - started, kind=point.kind
+            )
+            return value
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _drain_serial(self, pending, unique, results, total, started) -> None:
@@ -534,6 +575,9 @@ class Sweep:
                 "quarantining point %s after %d attempt(s): %s",
                 point.label(), attempts[key], exc,
             )
+            self.registry.counter("sweep_failures_total").inc(
+                kind=point.kind, error=type(exc).__name__
+            )
             failure = PointFailure(
                 kind=point.kind,
                 label=point.label(),
@@ -546,6 +590,7 @@ class Sweep:
 
         def retry_or_fail(key: str, exc: BaseException) -> None:
             if attempts[key] <= self.retries:
+                self.registry.counter("sweep_retries_total").inc(kind=unique[key].kind)
                 delay = delays.get(key, self.retry_backoff_s)
                 delays[key] = delay * 2
                 logger.warning(
@@ -585,6 +630,9 @@ class Sweep:
                             # The worker is stuck inside the point; it
                             # cannot be preempted, only abandoned.
                             had_stragglers = True
+                        self.registry.counter("sweep_timeouts_total").inc(
+                            kind=unique[key].kind
+                        )
                         exc = TimeoutError(
                             f"point exceeded the per-point timeout of {self.timeout:.3g}s"
                         )
@@ -609,6 +657,14 @@ class Sweep:
                         continue
                     if mode == "process":
                         envelope = value
+                        # The worker's own meter rides along in the
+                        # envelope; fold it into this sweep's registry
+                        # (and keep it out of the cached payload).
+                        worker_metrics = envelope.pop("worker_metrics", None)
+                        if worker_metrics:
+                            self.registry.merge(
+                                RegistrySnapshot.from_payload(worker_metrics)
+                            )
                         value = _decode(envelope)
                         self.cache.put(key, value, envelope)
                     else:
@@ -624,6 +680,7 @@ class Sweep:
                     deadlines.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = make_pool()
+                    self.registry.counter("sweep_pool_rebuilds_total").inc()
                     logger.warning(
                         "worker pool broke (%s); rebuilding and retrying %d in-flight point(s)",
                         broken, len(in_flight) + 1,
@@ -659,6 +716,10 @@ class Sweep:
     def _report(
         self, index: int, total: int, point: SweepPoint, *, cached: bool, started: float, value: Any
     ) -> None:
+        status = "failed" if is_failure(value) else ("cached" if cached else "computed")
+        self.registry.counter("sweep_progress_events_total").inc(
+            kind=point.kind, status=status
+        )
         if self.progress is None:
             return
         event = ProgressEvent(

@@ -29,6 +29,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import spans as _spans
+
 from . import storage as st
 from .modules import Module
 from .optim import CPUAdam
@@ -135,13 +137,29 @@ class RatelRuntime:
         """Run one iteration: forward + backward (+ optimizer, per mode).
 
         ``loss_fn`` builds the loss tensor (it closes over the batch);
-        returns the scalar loss value.
+        returns the scalar loss value.  Under an active
+        :func:`repro.obs.observe` block the step is recorded as spans
+        (one ``rt_step`` slice, forward/backward stage windows).
         """
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
-        loss = loss_fn()
-        loss.backward()
+        rec = _spans.recorder()
+        if rec is None:
+            loss = loss_fn()
+            loss.backward()
+            self._finish_step()
+            return float(loss.data)
+        with rec.span(_spans.RT_STEP, f"train_step_s{self.step}"):
+            with rec.stage(f"forward_s{self.step}"):
+                loss = loss_fn()
+            with rec.stage(f"backward_s{self.step}"):
+                loss.backward()
+                self._finish_step()
+        return float(loss.data)
+
+    def _finish_step(self) -> None:
+        """The post-backward epilogue shared by every step variant."""
         if self.delayed_update:
             self._apply_delayed_update()
         elif not self.active_offload:
@@ -152,7 +170,6 @@ class RatelRuntime:
                 if param.grad is not None:
                     self._consume_gradient(name, param)
         self._fire_step_hooks()
-        return float(loss.data)
 
     def train_step_accumulate(self, loss_fns: list[Callable[[], Tensor]]) -> float:
         """One optimizer step over several micro-batches (gradient accumulation).
@@ -174,20 +191,15 @@ class RatelRuntime:
         self.model.zero_grad()
         total = 0.0
         scale = 1.0 / len(loss_fns)
-        for index, loss_fn in enumerate(loss_fns):
-            final = index == len(loss_fns) - 1
-            self._suppress_handlers = not final
-            loss = loss_fn() * scale
-            loss.backward()
-            total += float(loss.data)
-        self._suppress_handlers = False
-        if self.delayed_update:
-            self._apply_delayed_update()
-        elif not self.active_offload:
-            for name, param in reversed(list(self.model.named_parameters())):
-                if param.grad is not None:
-                    self._consume_gradient(name, param)
-        self._fire_step_hooks()
+        with _spans.maybe_span(_spans.RT_STEP, f"train_step_accumulate_s{self.step}"):
+            for index, loss_fn in enumerate(loss_fns):
+                final = index == len(loss_fns) - 1
+                self._suppress_handlers = not final
+                loss = loss_fn() * scale
+                loss.backward()
+                total += float(loss.data)
+            self._suppress_handlers = False
+            self._finish_step()
         return total
 
     def train_step_clipped(
@@ -213,16 +225,11 @@ class RatelRuntime:
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
-        loss = loss_fn()
-        loss.backward()
-        norm = clip_gradients(list(self.model.named_parameters()), max_grad_norm)
-        if self.delayed_update:
-            self._apply_delayed_update()
-        else:
-            for name, param in reversed(list(self.model.named_parameters())):
-                if param.grad is not None:
-                    self._consume_gradient(name, param)
-        self._fire_step_hooks()
+        with _spans.maybe_span(_spans.RT_STEP, f"train_step_clipped_s{self.step}"):
+            loss = loss_fn()
+            loss.backward()
+            norm = clip_gradients(list(self.model.named_parameters()), max_grad_norm)
+            self._finish_step()
         return float(loss.data), norm
 
     def _apply_delayed_update(self) -> None:
@@ -271,7 +278,7 @@ class RatelRuntime:
             # Inference (e.g. generation): no backward will come, so no
             # boundary needs storing and no recompute needs arranging.
             return forward(*args)
-        with no_grad():
+        with no_grad(), _spans.maybe_span(_spans.RT_COMPUTE, f"fwd_b{index}_s{self.step}"):
             shadow = [
                 Tensor(arg.data) if isinstance(arg, Tensor) else arg for arg in args
             ]
@@ -298,8 +305,9 @@ class RatelRuntime:
             for i, data in extras:
                 local_tensors[i] = Tensor(data, requires_grad=True)
                 locals_[i] = local_tensors[i]
-            recomputed = forward(*locals_)
-            recomputed.backward(out.grad)
+            with _spans.maybe_span(_spans.RT_COMPUTE, f"bwd_b{index}_s{self.step}"):
+                recomputed = forward(*locals_)
+                recomputed.backward(out.grad)
             for i, local in local_tensors.items():
                 original_arg = args[i]
                 if original_arg.requires_grad and local.grad is not None:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import spans as _spans
+
 from . import storage as st
 from .tensor import Tensor
 
@@ -210,7 +212,12 @@ class CPUAdam:
             raise OptimizerError(f"unknown parameter {name!r}")
         self.step_counts[name] += 1
         step = self.step_counts[name]
+        with _spans.maybe_span(
+            _spans.RT_CPU_ADAM, f"adam:{name}", float(grad_fp16.size)
+        ):
+            return self._step_param(name, step, grad_fp16)
 
+    def _step_param(self, name: str, step: int, grad_fp16: np.ndarray) -> np.ndarray:
         p32 = self.manager.get(f"{name}.p32")
         m32 = self.manager.get(f"{name}.m32")
         v32 = self.manager.get(f"{name}.v32")

@@ -40,6 +40,7 @@ from typing import Callable
 import numpy as np
 
 from repro.faults.inject import with_retries
+from repro.obs import spans as _spans
 
 GPU = "gpu"
 HOST = "host"
@@ -218,16 +219,19 @@ class StorageManager:
         if source == dest:
             return
         path = _route(source, dest)
-        self.tiers[dest].allocate(tensor.nbytes)
-        try:
-            if source == NVME:
-                self._load(tensor)
-            if dest == NVME:
-                self._spill(tensor)
-        except Exception:
-            self.tiers[dest].free(tensor.nbytes)
-            raise
-        self.tiers[source].free(tensor.nbytes)
+        with _spans.maybe_span(
+            _spans.link_lane(source, dest), f"move:{tensor.name}", tensor.nbytes
+        ):
+            self.tiers[dest].allocate(tensor.nbytes)
+            try:
+                if source == NVME:
+                    self._load(tensor)
+                if dest == NVME:
+                    self._spill(tensor)
+            except Exception:
+                self.tiers[dest].free(tensor.nbytes)
+                raise
+            self.tiers[source].free(tensor.nbytes)
         for hop in path:
             self.moved_bytes[hop] += tensor.nbytes
         tensor.tier = dest
@@ -286,13 +290,14 @@ class StorageManager:
                     os.unlink(tmp)
 
         try:
-            with_retries(
-                attempt,
-                what=f"spill of {tensor.name!r}",
-                retries=self.max_retries,
-                backoff_s=self.backoff_s,
-                sleep=self._sleep,
-            )
+            with _spans.maybe_span(_spans.RT_SSD, f"spill:{tensor.name}", tensor.nbytes):
+                with_retries(
+                    attempt,
+                    what=f"spill of {tensor.name!r}",
+                    retries=self.max_retries,
+                    backoff_s=self.backoff_s,
+                    sleep=self._sleep,
+                )
         except OSError as exc:
             raise SpillError(
                 f"spilling tensor {tensor.name!r} to {path!r} failed after "
@@ -324,13 +329,14 @@ class StorageManager:
             return np.load(path)
 
         try:
-            array = with_retries(
-                attempt,
-                what=f"load of {tensor.name!r}",
-                retries=self.max_retries,
-                backoff_s=self.backoff_s,
-                sleep=self._sleep,
-            )
+            with _spans.maybe_span(_spans.RT_SSD, f"load:{tensor.name}", tensor.nbytes):
+                array = with_retries(
+                    attempt,
+                    what=f"load of {tensor.name!r}",
+                    retries=self.max_retries,
+                    backoff_s=self.backoff_s,
+                    sleep=self._sleep,
+                )
         except OSError as exc:
             raise SpillError(
                 f"loading tensor {tensor.name!r} from {path!r} failed after "

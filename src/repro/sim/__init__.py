@@ -16,9 +16,9 @@ from .engine import (
     Simulator,
     Timeout,
 )
-from .export import trace_to_events, write_chrome_trace
+from .export import lane_order, trace_to_events, write_chrome_trace
 from .resources import ExclusiveResource, Machine, RateChannel, Semaphore
-from .trace import Trace, TraceInterval
+from .trace import Trace, TraceInterval, merge_traces
 
 __all__ = [
     "AllOf",
@@ -34,6 +34,8 @@ __all__ = [
     "Semaphore",
     "Trace",
     "TraceInterval",
+    "lane_order",
+    "merge_traces",
     "trace_to_events",
     "write_chrome_trace",
 ]

@@ -10,22 +10,56 @@ Usage::
     result = policy.simulate(profile, server)
     write_chrome_trace(result.trace, "iteration.json",
                        stage_windows=result.stage_windows)
+
+Lane order is derived from the trace itself: the canonical Fig.-1 rows
+(GPUs, then each GPU's PCIe directions, then the SSD array and CPU Adam)
+are pinned first, any runtime (``rt_*``) lanes follow, and unknown
+resource names sort alphabetically after that — so traces from >4-GPU
+servers or with custom resource names always get a stable, complete
+ordering instead of falling into one shared overflow lane.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Mapping
 
 from .trace import Trace
 
-#: Stable lane ordering, mirroring Fig. 1's rows.
-_LANE_ORDER = (
-    "gpu0", "gpu1", "gpu2", "gpu3",
-    "pcie_m2g0", "pcie_g2m0", "pcie_m2g1", "pcie_g2m1",
-    "pcie_m2g2", "pcie_g2m2", "pcie_m2g3", "pcie_g2m3",
-    "ssd", "cpu_adam",
-)
+#: Canonical per-GPU lane families, in Fig.-1 row order.
+_GPU_FAMILIES = ("gpu", "pcie_m2g", "pcie_g2m")
+
+#: Canonical shared lanes after the per-GPU rows.
+_SHARED_LANES = ("ssd", "cpu_adam")
+
+#: Runtime-substrate lanes (``repro.obs`` spans) group after the
+#: simulator's, in a fixed taxonomy order.
+_RT_LANES = ("rt_step", "rt_compute", "rt_gpu2host", "rt_host2gpu",
+             "rt_host2nvme", "rt_nvme2host", "rt_ssd", "rt_cpu_adam")
+
+_GPU_LANE_RE = re.compile(r"^(gpu|pcie_m2g|pcie_g2m)(\d+)$")
+
+
+def _lane_rank(name: str) -> tuple:
+    """Sort key pinning canonical lanes first, unknown names last."""
+    match = _GPU_LANE_RE.match(name)
+    if match:
+        family, index = match.groups()
+        # All of gpu0's lanes, then gpu1's, ... mirroring Fig. 1 rows.
+        return (0, int(index), _GPU_FAMILIES.index(family))
+    if name in _SHARED_LANES:
+        return (1, _SHARED_LANES.index(name), 0)
+    if name in _RT_LANES:
+        return (2, _RT_LANES.index(name), 0)
+    if name.startswith("rt_"):
+        return (3, 0, 0, name)
+    return (4, 0, 0, name)
+
+
+def lane_order(trace: Trace) -> list[str]:
+    """Every resource in the trace, in stable swim-lane order."""
+    return sorted(trace.resources(), key=_lane_rank)
 
 
 def trace_to_events(
@@ -35,16 +69,16 @@ def trace_to_events(
 
     Durations are emitted in microseconds (the format's unit), with one
     process per resource so lanes stay separated.  Stage windows become
-    instant-marker pairs on a dedicated "stages" lane.
+    slices on a dedicated "stages" lane placed after every resource.
     """
-    lanes = {name: index for index, name in enumerate(_LANE_ORDER)}
+    lanes = {name: index for index, name in enumerate(lane_order(trace))}
     events: list[dict] = []
-    for name in sorted(trace.resources(), key=lambda r: lanes.get(r, 99)):
+    for name, pid in lanes.items():
         events.append(
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": lanes.get(name, 99),
+                "pid": pid,
                 "tid": 0,
                 "args": {"name": name},
             }
@@ -55,7 +89,7 @@ def trace_to_events(
                 "name": interval.label or interval.resource,
                 "cat": interval.resource,
                 "ph": "X",
-                "pid": lanes.get(interval.resource, 99),
+                "pid": lanes[interval.resource],
                 "tid": 0,
                 "ts": interval.start * 1e6,
                 "dur": interval.duration * 1e6,
@@ -63,11 +97,12 @@ def trace_to_events(
             }
         )
     if stage_windows:
+        stage_pid = len(lanes)
         events.append(
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": 98,
+                "pid": stage_pid,
                 "tid": 0,
                 "args": {"name": "stages"},
             }
@@ -78,7 +113,7 @@ def trace_to_events(
                     "name": stage,
                     "cat": "stage",
                     "ph": "X",
-                    "pid": 98,
+                    "pid": stage_pid,
                     "tid": 0,
                     "ts": start * 1e6,
                     "dur": (end - start) * 1e6,

@@ -107,3 +107,75 @@ class Trace:
     def resources(self) -> list[str]:
         """Sorted list of resource names appearing in the trace."""
         return sorted({interval.resource for interval in self.intervals})
+
+    # -- aggregation -----------------------------------------------------------
+
+    def busy_intervals(
+        self,
+        resources: list[str] | None = None,
+        window_start: float = 0.0,
+        window_end: float = float("inf"),
+    ) -> list[tuple[float, float]]:
+        """Merged (non-overlapping, sorted) busy spans within a window.
+
+        With ``resources=None`` every resource contributes, so the result
+        is the "anything is working" timeline — the complement of the
+        dead time the attribution report calls *idle*.
+        """
+        wanted = None if resources is None else set(resources)
+        clipped: list[tuple[float, float]] = []
+        for interval in self.intervals:
+            if wanted is not None and interval.resource not in wanted:
+                continue
+            lo = max(interval.start, window_start)
+            hi = min(interval.end, window_end)
+            if hi > lo:
+                clipped.append((lo, hi))
+        clipped.sort()
+        merged: list[tuple[float, float]] = []
+        for lo, hi in clipped:
+            if merged and lo <= merged[-1][1]:
+                if hi > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], hi)
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def union_busy_time(
+        self,
+        window_start: float = 0.0,
+        window_end: float = float("inf"),
+        resources: list[str] | None = None,
+    ) -> float:
+        """Seconds in a window where *any* of the resources is busy.
+
+        Unlike :meth:`busy_time` this deduplicates overlap across
+        resources, which is what per-stage stall/idle accounting needs.
+        """
+        return sum(hi - lo for lo, hi in self.busy_intervals(resources, window_start, window_end))
+
+    def extend(self, other: "Trace", offset: float = 0.0) -> None:
+        """Append another trace's intervals, optionally shifted in time."""
+        for interval in other.intervals:
+            self.intervals.append(
+                TraceInterval(
+                    interval.resource,
+                    interval.label,
+                    interval.start + offset,
+                    interval.end + offset,
+                    interval.amount,
+                )
+            )
+
+
+def merge_traces(*traces: Trace) -> Trace:
+    """One trace holding every input's intervals (lanes keep their names).
+
+    The sim + runtime combined export: simulator lanes (``gpu0``,
+    ``pcie_*``, ``ssd``, ...) and runtime lanes (``rt_*``) land in one
+    Perfetto timeline.  Inputs are not modified.
+    """
+    merged = Trace()
+    for trace in traces:
+        merged.extend(trace)
+    return merged

@@ -91,3 +91,36 @@ class TestTraceExport:
         payload = json.load(open(path))
         names = {e["name"] for e in payload["traceEvents"]}
         assert "forward" in names and "backward" in names
+
+
+class TestObsReportCommand:
+    def test_prints_attribution_table(self):
+        code, text = run_cli("obs", "report", "13B", "32")
+        assert code == 0
+        assert "bottleneck attribution" in text
+        assert "busy_s" in text and "stall_s" in text
+        assert "bound by" in text
+        assert "vs plan" in text  # predicted-vs-actual line
+
+    def test_infeasible_point_fails(self):
+        code, text = run_cli("obs", "report", "412B", "1", "--memory-gb", "128")
+        assert code == 1
+        assert "does NOT fit" in text
+
+    def test_baseline_system_has_no_plan_line(self):
+        code, text = run_cli("obs", "report", "13B", "32", "--system", "zero-infinity")
+        assert code == 0
+        assert "ZeRO-Infinity" in text
+        assert "vs plan" not in text  # baselines carry no Algorithm-1 estimate
+
+    def test_trace_and_metrics_exports(self, tmp_path):
+        trace_path = str(tmp_path / "obs.json")
+        metrics_path = str(tmp_path / "obs.prom")
+        code, text = run_cli(
+            "obs", "report", "13B", "8", "--trace", trace_path, "--metrics", metrics_path
+        )
+        assert code == 0
+        payload = json.load(open(trace_path))
+        assert len(payload["traceEvents"]) > 100
+        prom = open(metrics_path).read()
+        assert "# TYPE sweep_cache_misses_total counter" in prom

@@ -1,0 +1,189 @@
+"""Tests for bottleneck attribution (:mod:`repro.obs.attribution`).
+
+Synthetic traces with known busy/stall/idle geometry verify the
+accounting exactly; a real simulated iteration checks the report ties
+back to the engine's stage times and Algorithm-1's plan.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+from repro.obs.attribution import MODEL_TO_TRACE, AttributionReport, attribute
+from repro.sim.trace import Trace
+
+
+def synthetic_trace():
+    """Stage window [0, 10]: gpu busy 0-6, ssd busy 4-9, dead air 9-10."""
+    trace = Trace()
+    trace.record("gpu0", "kernel", 0.0, 6.0, 0.0)
+    trace.record("ssd", "io", 4.0, 9.0, 0.0)
+    return trace
+
+
+class TestAccounting:
+    @pytest.fixture()
+    def report(self):
+        return attribute(synthetic_trace(), {"stage": (0.0, 10.0)})
+
+    def test_busy_seconds(self, report):
+        stage = report.stage("stage")
+        assert stage.usage("gpu0").busy_s == pytest.approx(6.0)
+        assert stage.usage("ssd").busy_s == pytest.approx(5.0)
+
+    def test_union_and_idle(self, report):
+        # Union busy = [0, 9] = 9 s, so 1 s of dead air.
+        assert report.stage("stage").idle_s == pytest.approx(1.0)
+
+    def test_stall_is_union_minus_busy(self, report):
+        stage = report.stage("stage")
+        assert stage.usage("gpu0").stall_s == pytest.approx(3.0)  # 9 - 6
+        assert stage.usage("ssd").stall_s == pytest.approx(4.0)  # 9 - 5
+
+    def test_bottleneck_is_busiest_resource(self, report):
+        assert report.stage("stage").bottleneck == "gpu0"
+
+    def test_utilization(self, report):
+        assert report.stage("stage").usage("gpu0").utilization == pytest.approx(0.6)
+
+    def test_resources_sorted_by_busy(self, report):
+        rows = report.stage("stage").resources
+        assert [row.resource for row in rows] == ["gpu0", "ssd"]
+
+    def test_iteration_time_is_last_window_end(self):
+        report = attribute(
+            synthetic_trace(), {"a": (0.0, 4.0), "b": (4.0, 10.0)}
+        )
+        assert report.iteration_time == pytest.approx(10.0)
+
+    def test_window_clipping(self):
+        report = attribute(synthetic_trace(), {"early": (0.0, 5.0)})
+        stage = report.stage("early")
+        assert stage.usage("gpu0").busy_s == pytest.approx(5.0)
+        assert stage.usage("ssd").busy_s == pytest.approx(1.0)
+        assert stage.idle_s == pytest.approx(0.0)
+
+    def test_empty_window_has_no_bottleneck(self):
+        report = attribute(Trace(), {"void": (0.0, 1.0)})
+        stage = report.stage("void")
+        assert stage.bottleneck == ""
+        assert stage.idle_s == pytest.approx(1.0)
+
+    def test_unknown_stage_raises(self):
+        report = attribute(synthetic_trace(), {"stage": (0.0, 10.0)})
+        with pytest.raises(KeyError):
+            report.stage("nope")
+
+
+class FakeStageTime:
+    def __init__(self, total, components):
+        self.total = total
+        self.components = components
+
+
+class FakeEstimate:
+    def __init__(self):
+        self.stage = FakeStageTime(9.5, {"ssd": 9.5, "gpu": 3.0})
+        self.total = 9.5
+
+
+class TestPrediction:
+    def test_predicted_vs_actual(self):
+        report = attribute(
+            synthetic_trace(), {"stage": (0.0, 10.0)}, predicted=FakeEstimate()
+        )
+        assert report.predicted_time == pytest.approx(9.5)
+        assert report.prediction_error == pytest.approx((10.0 - 9.5) / 9.5)
+        stage = report.stage("stage")
+        assert stage.predicted_s == pytest.approx(9.5)
+        # Component names map through MODEL_TO_TRACE to trace lanes.
+        assert stage.predicted_bottleneck == MODEL_TO_TRACE["ssd"] == "ssd"
+
+    def test_no_prediction_means_none(self):
+        report = attribute(synthetic_trace(), {"stage": (0.0, 10.0)})
+        assert report.predicted_time is None
+        assert report.prediction_error is None
+
+    def test_render_flags_bottleneck_disagreement(self):
+        report = attribute(
+            synthetic_trace(), {"stage": (0.0, 10.0)}, predicted=FakeEstimate()
+        )
+        text = report.render()
+        # Plan said ssd binds, the trace says gpu0 does — the report says so.
+        assert "plan expected ssd" in text
+
+
+class TestRender:
+    def test_table_contents(self):
+        text = attribute(synthetic_trace(), {"stage": (0.0, 10.0)}).render()
+        assert "bound by gpu0" in text
+        assert "busy_s" in text and "stall_s" in text
+        assert "idle 1.0 s" in text
+        assert text.strip().endswith("iteration: 10.0 s")
+
+    def test_render_includes_plan_line(self):
+        text = attribute(
+            synthetic_trace(), {"stage": (0.0, 10.0)}, predicted=FakeEstimate()
+        ).render()
+        assert "(planned 9.5 s, +5% vs plan)" in text
+
+
+class TestPayload:
+    def test_round_trip(self):
+        report = attribute(
+            synthetic_trace(), {"stage": (0.0, 10.0)}, predicted=FakeEstimate()
+        )
+        payload = json.loads(json.dumps(report.to_payload()))
+        rebuilt = AttributionReport.from_payload(payload)
+        assert rebuilt.iteration_time == pytest.approx(report.iteration_time)
+        assert rebuilt.predicted_time == pytest.approx(report.predicted_time)
+        stage = rebuilt.stage("stage")
+        assert stage.bottleneck == "gpu0"
+        assert stage.usage("gpu0").busy_s == pytest.approx(6.0)
+        assert stage.usage("ssd").stall_s == pytest.approx(4.0)
+        assert stage.usage("gpu0").utilization == pytest.approx(0.6)
+
+
+class TestOnSimulatedIteration:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return RatelPolicy().evaluate(
+            profile_model(llm("13B"), 32), evaluation_server()
+        )
+
+    def test_outcome_carries_attribution(self, outcome):
+        report = outcome.attribution()
+        assert report is not None
+        stages = {b.stage for b in report.stages}
+        assert {"forward", "backward"} <= stages
+
+    def test_iteration_time_matches_engine(self, outcome):
+        report = outcome.attribution()
+        assert report.iteration_time == pytest.approx(
+            outcome.iteration_time, rel=1e-6
+        )
+
+    def test_plan_rides_along(self, outcome):
+        report = outcome.attribution()
+        assert report.predicted_time is not None
+        assert outcome.predicted_iteration_time == pytest.approx(report.predicted_time)
+        # Algorithm 1's model tracks the engine within a loose band.
+        assert abs(report.prediction_error) < 0.5
+
+    def test_every_stage_has_a_binding_resource(self, outcome):
+        for breakdown in outcome.attribution().stages:
+            assert breakdown.bottleneck != ""
+
+    def test_survives_metrics_round_trip(self, outcome):
+        payload = json.loads(json.dumps(outcome.to_payload()))
+        from repro.core.evaluation import EvalOutcome
+
+        rebuilt = EvalOutcome.from_payload(payload)
+        report = rebuilt.attribution()
+        assert report is not None
+        assert report.iteration_time == pytest.approx(outcome.iteration_time)

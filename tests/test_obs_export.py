@@ -1,0 +1,193 @@
+"""Chrome-trace export round-trips for sim and runtime traces.
+
+Satellite coverage for :mod:`repro.sim.export`: a simulated iteration
+and an instrumented runtime ``train_step`` both go through
+:func:`trace_to_events` / :func:`write_chrome_trace`; lane assignment,
+microsecond units and stage-window markers are asserted on the actual
+event dicts, and one merged sim+runtime trace loads as schema-valid
+JSON with both families of lanes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm, profile_model
+from repro.obs import spans
+from repro.runtime import (
+    CrossEntropyLoss,
+    GPTModel,
+    RatelOptimizer,
+    ratel_hook,
+    ratel_init,
+)
+from repro.sim import lane_order, merge_traces, trace_to_events, write_chrome_trace
+from repro.sim.trace import Trace
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    outcome = RatelPolicy().evaluate(profile_model(llm("13B"), 32), evaluation_server())
+    return outcome.require_result()
+
+
+@pytest.fixture(scope="module")
+def runtime_recording():
+    loss_fn = CrossEntropyLoss()
+    with ratel_init(
+        gpu_capacity=1 * GB,
+        host_capacity=1 * GB,
+        nvme_capacity=4 * GB,
+        active_offload=True,
+    ):
+        model = GPTModel(37, 16, 2, 2, 8, np.random.default_rng(5))
+        runtime = ratel_hook(model)
+        RatelOptimizer(model, runtime, lr=1e-2)
+        rng = np.random.default_rng(7)
+        ids = rng.integers(0, 37, size=(2, 8))
+        with obs.observe() as rec:
+            runtime.train_step(lambda: loss_fn(model(ids), np.roll(ids, -1, axis=1)))
+    return rec
+
+
+class TestLaneOrder:
+    def test_canonical_sim_lanes_pinned_first(self, sim_result):
+        order = lane_order(sim_result.trace)
+        canonical = [
+            name for name in ("gpu0", "pcie_m2g0", "pcie_g2m0", "ssd", "cpu_adam")
+            if name in order
+        ]
+        assert order[: len(canonical)] == canonical
+
+    def test_many_gpus_grouped_per_device(self):
+        trace = Trace()
+        for gpu in (0, 5, 11):  # beyond any hardcoded 4-GPU table
+            trace.record(f"gpu{gpu}", "k", 0.0, 1.0, 0.0)
+            trace.record(f"pcie_g2m{gpu}", "x", 0.0, 1.0, 0.0)
+            trace.record(f"pcie_m2g{gpu}", "x", 0.0, 1.0, 0.0)
+        trace.record("ssd", "io", 0.0, 1.0, 0.0)
+        order = lane_order(trace)
+        assert order == [
+            "gpu0", "pcie_m2g0", "pcie_g2m0",
+            "gpu5", "pcie_m2g5", "pcie_g2m5",
+            "gpu11", "pcie_m2g11", "pcie_g2m11",
+            "ssd",
+        ]
+
+    def test_rt_lanes_follow_sim_lanes(self):
+        trace = Trace()
+        trace.record("rt_ssd", "io", 0.0, 1.0, 0.0)
+        trace.record("gpu0", "k", 0.0, 1.0, 0.0)
+        trace.record("rt_step", "s", 0.0, 1.0, 0.0)
+        assert lane_order(trace) == ["gpu0", "rt_step", "rt_ssd"]
+
+    def test_unknown_names_sort_last_alphabetically(self):
+        trace = Trace()
+        for name in ("zebra", "gpu0", "aardvark", "rt_custom"):
+            trace.record(name, "x", 0.0, 1.0, 0.0)
+        assert lane_order(trace) == ["gpu0", "rt_custom", "aardvark", "zebra"]
+
+    def test_every_resource_gets_its_own_lane(self, sim_result):
+        events = trace_to_events(sim_result.trace)
+        lanes = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+        assert len(set(lanes.values())) == len(lanes)
+        assert set(lanes) == set(sim_result.trace.resources())
+
+
+class TestSimExport:
+    def test_slices_carry_microsecond_units(self, sim_result):
+        events = trace_to_events(sim_result.trace)
+        slices = [e for e in events if e["ph"] == "X"]
+        interval = sim_result.trace.intervals[0]
+        first = slices[0]
+        assert first["ts"] == pytest.approx(interval.start * 1e6)
+        assert first["dur"] == pytest.approx(interval.duration * 1e6)
+
+    def test_slice_pid_matches_lane(self, sim_result):
+        events = trace_to_events(sim_result.trace)
+        lanes = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+        for event in events:
+            if event["ph"] == "X":
+                assert event["pid"] == lanes[event["cat"]]
+
+    def test_stage_markers_on_dedicated_lane(self, sim_result):
+        events = trace_to_events(
+            sim_result.trace, stage_windows=sim_result.stage_windows
+        )
+        lanes = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+        stage_events = [e for e in events if e.get("cat") == "stage"]
+        assert {e["name"] for e in stage_events} == set(sim_result.stage_windows)
+        assert all(e["pid"] == lanes["stages"] for e in stage_events)
+        assert lanes["stages"] == max(lanes.values())
+
+    def test_written_file_is_loadable_json(self, sim_result, tmp_path):
+        path = tmp_path / "iteration.json"
+        write_chrome_trace(
+            sim_result.trace, str(path), stage_windows=sim_result.stage_windows
+        )
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) > len(sim_result.trace.intervals)
+
+
+class TestRuntimeExport:
+    def test_runtime_trace_exports_rt_lanes(self, runtime_recording):
+        events = trace_to_events(
+            runtime_recording.trace, stage_windows=runtime_recording.stage_windows
+        )
+        categories = {e["cat"] for e in events if e["ph"] == "X"}
+        assert spans.RT_STEP in categories
+        assert spans.RT_COMPUTE in categories
+        assert "stage" in categories
+
+    def test_runtime_stage_markers(self, runtime_recording):
+        events = trace_to_events(
+            runtime_recording.trace, stage_windows=runtime_recording.stage_windows
+        )
+        names = {e["name"] for e in events if e.get("cat") == "stage"}
+        assert any(name.startswith("forward") for name in names)
+        assert any(name.startswith("backward") for name in names)
+
+
+class TestMergedExport:
+    """Acceptance: one trace JSON holding sim AND runtime spans."""
+
+    def test_merged_trace_has_both_families(
+        self, sim_result, runtime_recording, tmp_path
+    ):
+        merged = merge_traces(sim_result.trace, runtime_recording.trace)
+        path = tmp_path / "merged.json"
+        write_chrome_trace(merged, str(path), stage_windows=sim_result.stage_windows)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        # Schema: every event has the trace-event required keys.
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        categories = {e["cat"] for e in events if e["ph"] == "X"}
+        assert "gpu0" in categories  # simulator lane
+        assert any(c.startswith("rt_") for c in categories)  # runtime lane
+
+    def test_merge_keeps_inputs_untouched(self, sim_result, runtime_recording):
+        before = len(sim_result.trace.intervals), len(runtime_recording.trace.intervals)
+        merged = merge_traces(sim_result.trace, runtime_recording.trace)
+        assert len(merged.intervals) == before[0] + before[1]
+        after = len(sim_result.trace.intervals), len(runtime_recording.trace.intervals)
+        assert before == after
+
+    def test_sim_lanes_precede_runtime_lanes(self, sim_result, runtime_recording):
+        merged = merge_traces(sim_result.trace, runtime_recording.trace)
+        order = lane_order(merged)
+        last_sim = max(i for i, n in enumerate(order) if not n.startswith("rt_"))
+        first_rt = min(i for i, n in enumerate(order) if n.startswith("rt_"))
+        assert last_sim < first_rt

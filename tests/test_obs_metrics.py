@@ -1,0 +1,257 @@
+"""Tests for the metrics registry (:mod:`repro.obs.metrics`).
+
+Covers the instrument semantics (counters, gauges, histograms with
+labels), the snapshot/merge model that ships worker metrics across
+process boundaries, both exporters, and the acceptance criterion:
+metrics from a 2-worker process-pool sweep merge into a single registry
+snapshot with correct counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    RegistrySnapshot,
+    default_registry,
+    reset_default_registry,
+)
+from repro.runner import Sweep, SweepPoint
+
+SERVER = evaluation_server()
+CONFIG = llm("13B")
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_are_independent_series(self):
+        counter = MetricsRegistry().counter("events_total")
+        counter.inc(kind="a")
+        counter.inc(kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 2
+        assert counter.value(kind="b") == 1
+        assert counter.value(kind="missing") == 0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_labelled(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(1, tier="gpu")
+        gauge.set(2, tier="host")
+        assert gauge.value(tier="gpu") == 1
+        assert gauge.value(tier="host") == 2
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (0.002, 0.02, 0.2):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(0.222)
+
+    def test_overflow_bucket_catches_tail(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        (sample,) = histogram._collect()
+        assert sample.overflow == 1
+        assert all(count == 0 for _bound, count in sample.buckets)
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(MetricsError):
+            registry.gauge("a")
+        with pytest.raises(MetricsError):
+            registry.histogram("a")
+
+    def test_default_registry_is_process_wide(self):
+        reset_default_registry()
+        try:
+            assert default_registry() is default_registry()
+        finally:
+            reset_default_registry()
+
+
+class TestSnapshot:
+    def test_value_and_get(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(3, kind="x")
+        snapshot = registry.snapshot()
+        assert snapshot.value("events_total", kind="x") == 3
+        assert snapshot.value("events_total", kind="y") == 0
+        assert snapshot.get("missing") is None
+
+    def test_payload_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, kind="x")
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.3)
+        payload = registry.snapshot().to_payload()
+        rebuilt = RegistrySnapshot.from_payload(json.loads(json.dumps(payload)))
+        assert rebuilt.value("c", kind="x") == 2
+        assert rebuilt.value("g") == 7
+        histogram = rebuilt.get("h")
+        assert histogram.count == 1
+        assert histogram.value == pytest.approx(0.3)
+        assert len(histogram.buckets) == len(DEFAULT_BUCKETS)
+
+
+class TestMerge:
+    @staticmethod
+    def _snapshot(build):
+        registry = MetricsRegistry()
+        build(registry)
+        return registry.snapshot()
+
+    def test_counters_add(self):
+        a = self._snapshot(lambda r: r.counter("c").inc(2, kind="x"))
+        b = self._snapshot(lambda r: r.counter("c").inc(3, kind="x"))
+        assert a.merged(b).value("c", kind="x") == 5
+
+    def test_disjoint_labels_kept_apart(self):
+        a = self._snapshot(lambda r: r.counter("c").inc(2, kind="x"))
+        b = self._snapshot(lambda r: r.counter("c").inc(3, kind="y"))
+        merged = a.merged(b)
+        assert merged.value("c", kind="x") == 2
+        assert merged.value("c", kind="y") == 3
+
+    def test_gauges_keep_latest(self):
+        a = self._snapshot(lambda r: r.gauge("g").set(1))
+        b = self._snapshot(lambda r: r.gauge("g").set(9))
+        assert a.merged(b).value("g") == 9
+
+    def test_histograms_add_bucketwise(self):
+        a = self._snapshot(lambda r: r.histogram("h").observe(0.002))
+        b = self._snapshot(lambda r: r.histogram("h").observe(0.002))
+        sample = a.merged(b).get("h")
+        assert sample.count == 2
+        assert sample.buckets[1][1] == 2  # both landed in the 0.005 bucket
+
+    def test_kind_conflict_raises(self):
+        a = self._snapshot(lambda r: r.counter("m").inc())
+        b = self._snapshot(lambda r: r.gauge("m").set(1))
+        with pytest.raises(MetricsError):
+            a.merged(b)
+
+    def test_registry_merge_folds_into_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        registry.merge(self._snapshot(lambda r: r.counter("c").inc(4)))
+        assert registry.snapshot().value("c") == 5
+
+
+class TestExporters:
+    @staticmethod
+    def _registry():
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(3, kind="a")
+        registry.gauge("depth").set(2)
+        histogram = registry.histogram("latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_jsonl_lines_parse(self):
+        lines = self._registry().snapshot().to_jsonl().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert {p["name"] for p in payloads} == {"events_total", "depth", "latency"}
+
+    def test_prometheus_type_headers(self):
+        text = self._registry().snapshot().to_prometheus()
+        assert "# TYPE events_total counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE latency histogram" in text
+        assert 'events_total{kind="a"} 3' in text
+
+    def test_prometheus_histogram_is_cumulative(self):
+        text = self._registry().snapshot().to_prometheus()
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="1"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 3' in text
+        assert "latency_count 3" in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(error='He said "hi"\nbye')
+        text = registry.snapshot().to_prometheus()
+        assert '\\"hi\\"' in text and "\\n" in text
+
+
+class TestSweepMetrics:
+    """The sweep meters its own orchestration through the registry."""
+
+    def test_serial_sweep_counts_misses_and_hits(self):
+        sweep = Sweep()
+        points = [
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, batch, SERVER) for batch in (8, 16)
+        ]
+        sweep.run(points)
+        sweep.run(points)
+        snapshot = sweep.metrics()
+        assert snapshot.value("sweep_cache_misses_total", kind="evaluate") == 2
+        assert snapshot.value("sweep_cache_hits_total", kind="evaluate") == 2
+
+    def test_progress_events_metered(self):
+        sweep = Sweep()
+        sweep.run([SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER)])
+        snapshot = sweep.metrics()
+        assert snapshot.value(
+            "sweep_progress_events_total", kind="evaluate", status="computed"
+        ) == 1
+
+    def test_process_pool_workers_merge_into_one_snapshot(self):
+        """Acceptance: 2-worker pool metrics collapse to correct totals."""
+        sweep = Sweep(executor="process", max_workers=2)
+        points = [
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, batch, SERVER)
+            for batch in (8, 16, 32)
+        ]
+        sweep.run(points)
+        snapshot = sweep.metrics()
+        # Every point was computed in some worker; the shipped-back
+        # snapshots merged, so the total is exact regardless of which
+        # worker took which point.
+        assert snapshot.value("worker_points_total", kind="evaluate") == 3
+        assert snapshot.value("sweep_cache_misses_total", kind="evaluate") == 3
+        timing = snapshot.get("worker_compute_seconds", kind="evaluate")
+        assert timing is not None and timing.count == 3
