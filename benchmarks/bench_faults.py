@@ -16,7 +16,6 @@ the ``bench_smoke`` marker.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -30,9 +29,7 @@ from repro.hardware import evaluation_server
 from repro.models import llm, profile_model
 from repro.runtime import HOST, NVME, StorageManager
 
-from conftest import RESULTS_DIR
-
-RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
+from conftest import write_bench_json
 
 MB = 10**6
 
@@ -102,9 +99,7 @@ def test_idle_fault_hooks_are_cheap(tmp_path):
         },
         "max_overhead_pct": MAX_OVERHEAD_PCT,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json("faults", payload)
     print(
         f"\nfault-hook overhead: storage {storage_pct:+.1f}%, "
         f"simulator {sim_pct:+.1f}% (bar {MAX_OVERHEAD_PCT:.0f}%)"

@@ -18,8 +18,6 @@ under the ``bench_smoke`` marker.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
 import numpy as np
@@ -34,9 +32,7 @@ from repro.runtime import (
     ratel_init,
 )
 
-from conftest import RESULTS_DIR
-
-RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+from conftest import write_bench_json
 
 GB = 1e9
 VOCAB, DIM, LAYERS, HEADS, SEQ, BATCH = 53, 32, 3, 4, 16, 4
@@ -111,9 +107,7 @@ def test_disabled_instrumentation_is_free():
         "enabled_overhead_pct": enabled_pct,
         "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json("obs", payload)
     print(
         f"\nobs overhead: disabled {disabled_pct:+.2f}% "
         f"(bar {MAX_DISABLED_OVERHEAD_PCT:.0f}%), enabled {enabled_pct:+.1f}%"

@@ -18,9 +18,7 @@ pytest-benchmark dependency.
 
 from __future__ import annotations
 
-import json
 import math
-import os
 import time
 
 import pytest
@@ -29,9 +27,7 @@ from repro.experiments.fig5_throughput import sweep_points
 from repro.models.profile import profile_model
 from repro.runner import Sweep
 
-from conftest import RESULTS_DIR
-
-RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
+from conftest import write_bench_json
 
 #: The warm-cache acceptance bar relative to the seed's sequential loop.
 MIN_WARM_SPEEDUP = 3.0
@@ -105,9 +101,7 @@ def test_runner_vs_sequential():
             "misses": sweep.stats.misses,
         },
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(RESULT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    write_bench_json("runner", payload)
     print(
         f"\nrunner bench: seed {seed_s:.2f}s, cold {cold_s:.2f}s, "
         f"warm {warm_s:.4f}s ({warm_speedup:.0f}x), process {parallel_s:.2f}s"

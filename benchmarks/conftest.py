@@ -4,11 +4,20 @@ Each ``bench_fig*.py`` regenerates one of the paper's tables/figures via
 ``pytest-benchmark`` (timing the whole experiment) and emits the rendered
 rows both to stdout (run with ``-s`` to see them) and to
 ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+
+Every bench module additionally gets a machine-readable
+``benchmarks/results/BENCH_<name>.json``: an autouse fixture wall-clocks
+each test and the session-finish hook merges the ``_s`` timings through
+:func:`write_bench_json` — the single writer all explicit payloads
+(``bench_runner``/``bench_obs``/``bench_faults``) also route through, so
+``diff_bench.py`` has one uniform corpus to gate on.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
 
@@ -16,6 +25,64 @@ from repro import runner
 from repro.analysis.report import ExperimentResult
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Wall-clock per test, ``{module name: {test name: seconds}}``, flushed
+#: to ``BENCH_<module>.json`` at session finish.
+_WALL_TIMES: dict[str, dict[str, float]] = {}
+
+
+def _merge(base: dict, update: dict) -> dict:
+    """Recursive dict merge (``update`` wins on scalar conflicts)."""
+    merged = dict(base)
+    for key, value in update.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = _merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Merge ``payload`` into ``benchmarks/results/BENCH_<name>.json``.
+
+    Existing keys the payload does not mention survive (so a ``-m
+    bench_smoke`` subset run does not erase the full run's numbers, and
+    the wall-time hook does not erase a module's explicit payload).
+    Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    existing: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except (json.JSONDecodeError, OSError):
+            pass
+    with open(path, "w") as handle:
+        json.dump(_merge(existing, payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _bench_wall_time(request):
+    """Record each bench test's wall time for ``BENCH_<module>.json``."""
+    started = time.perf_counter()
+    yield
+    module = request.node.module.__name__
+    if not module.startswith("bench_"):
+        return
+    name = module[len("bench_"):]
+    test = request.node.name.replace("[", "_").replace("]", "")
+    _WALL_TIMES.setdefault(name, {})[f"{test}_s"] = time.perf_counter() - started
+
+
+def pytest_sessionfinish(session):
+    for name, timings in _WALL_TIMES.items():
+        write_bench_json(name, {"tests": timings})
 
 
 @pytest.fixture(autouse=True)

@@ -1,31 +1,75 @@
-"""Diff freshly measured ``BENCH_*.json`` files against a git baseline.
+"""Gate fresh benchmark results against committed baselines.
 
-CI regenerates the bench-smoke timings, then runs::
+Two diff modes run from one invocation:
 
-    python benchmarks/diff_bench.py --baseline-ref HEAD
+* **Wall-clock timings** (informational by default): every numeric
+  *timing* leaf (keys ending in ``_s`` — seconds, bigger is worse) in
+  ``benchmarks/results/BENCH_*.json`` is compared against the copy
+  committed at ``--baseline-ref``.  Shared-runner timings are noisy, so
+  regressions here only fail the run under ``--fail-on-timings``.
 
-which compares every numeric *timing* leaf (keys ending in ``_s`` —
-seconds, where bigger is worse) in ``benchmarks/results/BENCH_*.json``
-against the copy committed at the baseline ref.  Slowdowns beyond the
-threshold (default 10%) are flagged; the rendered markdown table goes to
-stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, into the job summary.
+* **Ledger metrics** (the blocking CI gate): when ``--ledger-current``
+  points at a freshly regenerated run ledger (see ``repro sweep
+  --ledger``), its newest entry per label is diffed against the
+  committed baseline ledger (``--ledger-baseline``, default
+  ``benchmarks/results/ledger.jsonl``) via :mod:`repro.obs.diff`.  The
+  simulated iteration times are deterministic across machines, so an
+  iteration-time regression beyond ``--threshold-pct`` exits non-zero —
+  unless the entry's label matches the allowlist.
 
-The step is informational: shared-runner timings are noisy, so the
-default exit code is 0 even with regressions (CI additionally marks the
-step ``continue-on-error``).  Pass ``--fail-on-regression`` locally to
-get a non-zero exit instead.
+Intentional changes are recorded in
+``benchmarks/results/bench_allowlist.json``::
+
+    {"allow": [{"pattern": "evaluate:Ratel/13B/*", "reason": "PR #42 ..."}]}
+
+Patterns are shell-style (:mod:`fnmatch`) and match ledger labels and
+``file:metric`` timing ids.  The rendered markdown report goes to stdout
+and, when ``$GITHUB_STEP_SUMMARY`` is set, into the job summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
 import subprocess
 import sys
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def _bootstrap_src() -> None:
+    """Make ``repro`` importable when run as a plain script."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+# -- allowlist -----------------------------------------------------------------
+
+
+def load_allowlist(path: str | None) -> list[dict]:
+    """``[{"pattern": ..., "reason": ...}, ...]`` or ``[]`` when absent."""
+    if not path or not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        payload = json.load(handle)
+    entries = payload.get("allow", []) if isinstance(payload, dict) else []
+    return [entry for entry in entries if isinstance(entry, dict) and entry.get("pattern")]
+
+
+def allowed(ident: str, allowlist: list[dict]) -> dict | None:
+    """The first allowlist entry matching ``ident``, or ``None``."""
+    for entry in allowlist:
+        if fnmatch.fnmatch(ident, entry["pattern"]):
+            return entry
+    return None
+
+
+# -- wall-clock timing diff (BENCH_*.json vs a git ref) ------------------------
 
 
 def timing_leaves(payload, prefix: str = "") -> dict[str, float]:
@@ -50,7 +94,7 @@ def baseline_payload(ref: str, repo_path: str):
         ["git", "show", f"{ref}:{repo_path}"],
         capture_output=True,
         text=True,
-        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))) or ".",
+        cwd=REPO_ROOT,
     )
     if proc.returncode != 0:
         return None
@@ -60,7 +104,13 @@ def baseline_payload(ref: str, repo_path: str):
         return None
 
 
-def diff_file(name: str, current, baseline, threshold_pct: float) -> list[dict]:
+def diff_file(
+    name: str,
+    current,
+    baseline,
+    threshold_pct: float,
+    allowlist: list[dict] | None = None,
+) -> list[dict]:
     """Rows comparing every timing leaf present on both sides."""
     rows = []
     old = timing_leaves(baseline)
@@ -69,6 +119,7 @@ def diff_file(name: str, current, baseline, threshold_pct: float) -> list[dict]:
         if old_value is None or old_value <= 0:
             continue
         change_pct = (new_value - old_value) / old_value * 100
+        waiver = allowed(f"{name}:{path}", allowlist or [])
         rows.append(
             {
                 "file": name,
@@ -76,33 +127,163 @@ def diff_file(name: str, current, baseline, threshold_pct: float) -> list[dict]:
                 "baseline_s": old_value,
                 "current_s": new_value,
                 "change_pct": change_pct,
-                "regressed": change_pct > threshold_pct,
+                "regressed": change_pct > threshold_pct and waiver is None,
+                "allowed": waiver["reason"] if waiver else None,
             }
         )
     return rows
 
 
-def render_markdown(rows: list[dict], threshold_pct: float, ref: str) -> str:
-    lines = [f"### Bench diff vs `{ref}` (flagging > {threshold_pct:.0f}% slowdowns)", ""]
-    if not rows:
-        lines.append("No committed baseline timings to compare against.")
-        return "\n".join(lines) + "\n"
-    lines += [
-        "| file | metric | baseline | current | change | |",
-        "| --- | --- | ---: | ---: | ---: | --- |",
-    ]
-    for row in rows:
-        flag = ":warning: regression" if row["regressed"] else ""
-        lines.append(
-            f"| {row['file']} | {row['metric']} | {row['baseline_s'] * 1e3:.1f} ms "
-            f"| {row['current_s'] * 1e3:.1f} ms | {row['change_pct']:+.1f}% | {flag} |"
+def timing_rows(
+    results_dir: str, ref: str, threshold_pct: float, allowlist: list[dict]
+) -> list[dict]:
+    rows: list[dict] = []
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        with open(path) as handle:
+            current = json.load(handle)
+        baseline = baseline_payload(ref, f"benchmarks/results/{name}")
+        if baseline is None:
+            print(f"note: no baseline for {name} at {ref}; skipping")
+            continue
+        rows.extend(diff_file(name, current, baseline, threshold_pct, allowlist))
+    return rows
+
+
+# -- ledger diff (simulated metrics; the blocking gate) ------------------------
+
+
+def ledger_rows(
+    baseline_path: str,
+    current_path: str,
+    threshold_pct: float,
+    allowlist: list[dict],
+) -> tuple[list[dict], list[str]]:
+    """Per-label iteration-time rows plus labels missing from the current run.
+
+    Each regressed row carries a ``detail`` string blaming the worst
+    stage and its dominant resource delta (via :mod:`repro.obs.diff`),
+    so the CI summary names the culprit, not just the number.
+    """
+    _bootstrap_src()
+    from repro.obs.diff import diff_entries
+    from repro.obs.ledger import load_ledger
+
+    base = load_ledger(baseline_path).latest_by_label()
+    current = load_ledger(current_path).latest_by_label()
+    rows: list[dict] = []
+    for label, entry_b in sorted(current.items()):
+        entry_a = base.get(label)
+        if entry_a is None:
+            continue
+        diff = diff_entries(entry_a, entry_b)
+        slowed = diff.regressed(threshold_pct)
+        waiver = allowed(label, allowlist)
+        detail = ""
+        if slowed:
+            blamed = diff.regressions(threshold_pct) or [
+                stage for stage in diff.stages if stage.only_in is None
+            ]
+            if blamed:
+                worst = max(blamed, key=lambda stage: stage.delta_pct or 0.0)
+                detail = f"{worst.stage} {worst.delta_pct:+.1f}%"
+                dominant = worst.dominant()
+                if dominant is not None:
+                    detail += f" ({dominant.render()})"
+                if worst.binding_flipped:
+                    detail += (
+                        f"; binding {worst.bottleneck_a}→{worst.bottleneck_b}"
+                    )
+        rows.append(
+            {
+                "label": label,
+                "baseline_s": diff.iteration_a,
+                "current_s": diff.iteration_b,
+                "change_pct": diff.delta_pct or 0.0,
+                "regressed": slowed and waiver is None,
+                "allowed": waiver["reason"] if waiver else None,
+                "detail": detail,
+                "notes": list(diff.notes),
+            }
         )
-    regressions = [r for r in rows if r["regressed"]]
+    missing = sorted(label for label in base if label not in current)
+    return rows, missing
+
+
+# -- report --------------------------------------------------------------------
+
+
+def _flag(row: dict) -> str:
+    if row["allowed"]:
+        return f":white_check_mark: allowlisted ({row['allowed']})"
+    if row["regressed"]:
+        return ":warning: regression"
+    return ""
+
+
+def render_markdown(
+    timing: list[dict],
+    ledger: list[dict],
+    missing: list[str],
+    threshold_pct: float,
+    ref: str,
+) -> str:
+    lines = [f"### Bench diff (flagging > {threshold_pct:.0f}% slowdowns)", ""]
+
+    lines.append("#### Simulated metrics (ledger — blocking)")
     lines.append("")
-    if regressions:
+    if ledger:
+        lines += [
+            "| run | baseline | current | change | stage blame | |",
+            "| --- | ---: | ---: | ---: | --- | --- |",
+        ]
+        for row in ledger:
+            lines.append(
+                f"| {row['label']} | {row['baseline_s']:.2f} s "
+                f"| {row['current_s']:.2f} s | {row['change_pct']:+.1f}% "
+                f"| {row['detail']} | {_flag(row)} |"
+            )
+        for row in ledger:
+            for note in row["notes"]:
+                lines.append(f"- note ({row['label']}): {note}")
+    else:
+        lines.append("No ledger comparison ran (missing baseline or current ledger).")
+    if missing:
         lines.append(
-            f"**{len(regressions)} timing(s) regressed more than "
-            f"{threshold_pct:.0f}%** (noisy-runner caveat applies)."
+            f"- {len(missing)} baseline run(s) absent from the current ledger: "
+            + ", ".join(missing)
+        )
+    lines.append("")
+
+    lines.append(f"#### Wall-clock timings vs `{ref}` (informational)")
+    lines.append("")
+    if timing:
+        lines += [
+            "| file | metric | baseline | current | change | |",
+            "| --- | --- | ---: | ---: | ---: | --- |",
+        ]
+        for row in timing:
+            lines.append(
+                f"| {row['file']} | {row['metric']} | {row['baseline_s'] * 1e3:.1f} ms "
+                f"| {row['current_s'] * 1e3:.1f} ms | {row['change_pct']:+.1f}% "
+                f"| {_flag(row)} |"
+            )
+    else:
+        lines.append("No committed baseline timings to compare against.")
+    lines.append("")
+
+    gated = [row for row in ledger if row["regressed"]]
+    noisy = [row for row in timing if row["regressed"]]
+    if gated:
+        lines.append(
+            f"**{len(gated)} simulated run(s) regressed more than "
+            f"{threshold_pct:.0f}% — gate FAILS** (add an allowlist entry in "
+            "`benchmarks/results/bench_allowlist.json` if intentional)."
+        )
+    elif noisy:
+        lines.append(
+            f"{len(noisy)} wall-clock timing(s) regressed more than "
+            f"{threshold_pct:.0f}% (noisy-runner caveat applies; not gated)."
         )
     else:
         lines.append(f"No regressions beyond {threshold_pct:.0f}%.")
@@ -113,37 +294,78 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline-ref", default="HEAD",
-        help="git ref holding the committed baseline (default: HEAD)",
+        help="git ref holding the committed timing baseline (default: HEAD)",
     )
     parser.add_argument(
         "--threshold-pct", type=float, default=10.0,
         help="flag slowdowns beyond this percentage (default: 10)",
     )
     parser.add_argument(
+        "--results-dir", default=RESULTS_DIR,
+        help="directory holding fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--allowlist", default=None, metavar="PATH",
+        help="allowlist JSON (default: <results-dir>/bench_allowlist.json)",
+    )
+    parser.add_argument(
+        "--ledger-baseline", default=None, metavar="PATH",
+        help="committed baseline ledger (default: <results-dir>/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--ledger-current", default=None, metavar="PATH",
+        help="freshly regenerated ledger to gate (no ledger gate when omitted)",
+    )
+    parser.add_argument(
+        "--fail-on-timings", action="store_true",
+        help="also exit non-zero on wall-clock timing regressions",
+    )
+    parser.add_argument(
         "--fail-on-regression", action="store_true",
-        help="exit non-zero when any timing regressed past the threshold",
+        help="deprecated alias for --fail-on-timings",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="never exit non-zero, even on gated ledger regressions",
     )
     args = parser.parse_args(argv)
 
-    rows: list[dict] = []
-    for path in sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json"))):
-        name = os.path.basename(path)
-        with open(path) as handle:
-            current = json.load(handle)
-        baseline = baseline_payload(args.baseline_ref, f"benchmarks/results/{name}")
-        if baseline is None:
-            print(f"note: no baseline for {name} at {args.baseline_ref}; skipping")
-            continue
-        rows.extend(diff_file(name, current, baseline, args.threshold_pct))
+    allowlist = load_allowlist(
+        args.allowlist or os.path.join(args.results_dir, "bench_allowlist.json")
+    )
+    timing = timing_rows(
+        args.results_dir, args.baseline_ref, args.threshold_pct, allowlist
+    )
 
-    report = render_markdown(rows, args.threshold_pct, args.baseline_ref)
+    ledger: list[dict] = []
+    missing: list[str] = []
+    ledger_baseline = args.ledger_baseline or os.path.join(
+        args.results_dir, "ledger.jsonl"
+    )
+    if args.ledger_current:
+        if os.path.exists(ledger_baseline):
+            ledger, missing = ledger_rows(
+                ledger_baseline, args.ledger_current, args.threshold_pct, allowlist
+            )
+        else:
+            print(f"note: no baseline ledger at {ledger_baseline}; ledger gate skipped")
+
+    report = render_markdown(
+        timing, ledger, missing, args.threshold_pct, args.baseline_ref
+    )
     print(report)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as handle:
             handle.write(report)
 
-    if args.fail_on_regression and any(row["regressed"] for row in rows):
+    if args.warn_only:
+        return 0
+    if any(row["regressed"] for row in ledger):
+        return 1
+    if (args.fail_on_timings or args.fail_on_regression) and any(
+        row["regressed"] for row in timing
+    ):
         return 1
     return 0
 

@@ -16,16 +16,26 @@ Commands:
 * ``obs report``  — bottleneck attribution for one workload: the
   per-stage, per-resource busy/stall/idle table, the binding resource of
   each stage, and planned-vs-actual iteration time (``repro.obs``).
+* ``obs diff``    — align two recorded runs (ledger JSONL entries or
+  exported Chrome traces) and attribute the iteration-time delta to
+  stages and resources (binding-resource flips called out).
+* ``obs html``    — a dependency-free, self-contained HTML run report:
+  timeline, per-stage utilization bars, planned-vs-actual, ledger
+  history.  Opens standalone — no network, no CDN, no JavaScript.
 
 Every evaluation routes through the shared :class:`repro.runner.Sweep`;
-``--jobs`` fans grid points across a process pool and ``--cache-dir``
+``--jobs`` fans grid points across a process pool, ``--cache-dir``
 persists results (conventionally ``.repro_cache/``) so re-runs are
-served from disk.
+served from disk, and ``--ledger`` appends every computed evaluation to
+an append-only JSONL run ledger (default
+``benchmarks/results/ledger.jsonl``) for longitudinal diffing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro import runner
@@ -39,8 +49,12 @@ from repro.baselines import (
 from repro.core import RatelPolicy
 from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server, fmt_bytes
 from repro.models import LLM_PRESETS, llm
+from repro.obs.attribution import attribute
+from repro.obs.diff import diff_attributions, diff_entries
+from repro.obs.html import write_run_report
+from repro.obs.ledger import DEFAULT_LEDGER_PATH, LedgerError, RunLedger, load_ledger
 from repro.runner import SweepPoint
-from repro.sim import write_chrome_trace
+from repro.sim import events_to_trace, write_chrome_trace
 
 _GPUS = {"4090": RTX_4090, "3090": RTX_3090, "4080": RTX_4080}
 
@@ -97,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    _ledger_arg(report)
 
     trace = sub.add_parser("trace", help="export a Ratel iteration timeline")
     _server_args(trace)
@@ -124,7 +139,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH", default=None,
         help="write the evaluation's sweep metrics as Prometheus text",
     )
+    _ledger_arg(obs_report)
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="attribute the iteration-time delta between two runs to "
+        "stages and resources",
+    )
+    obs_diff.add_argument(
+        "run_a", help="baseline: a ledger JSONL or an exported Chrome trace JSON",
+    )
+    obs_diff.add_argument(
+        "run_b", help="candidate: a ledger JSONL or an exported Chrome trace JSON",
+    )
+    obs_diff.add_argument(
+        "--label", default=None,
+        help="restrict ledger lookup to entries with this label "
+        "(default: each file's newest entry)",
+    )
+    obs_diff.add_argument(
+        "--threshold-pct", type=float, default=10.0,
+        help="regression threshold for --fail-on-regression (default: 10)",
+    )
+    obs_diff.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable diff payload",
+    )
+    obs_diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when the iteration slowed past the threshold",
+    )
+
+    obs_html = obs_sub.add_parser(
+        "html", help="self-contained HTML run report (no network/CDN deps)"
+    )
+    _server_args(obs_html)
+    obs_html.add_argument("model", choices=sorted(LLM_PRESETS), help="Table IV model")
+    obs_html.add_argument("batch", type=int, help="batch size")
+    obs_html.add_argument(
+        "--system", choices=sorted(_SYSTEMS), default="ratel",
+        help="system to report on (default: ratel)",
+    )
+    obs_html.add_argument("-o", "--output", default="run_report.html")
+    obs_html.add_argument(
+        "--history", type=int, default=20, metavar="N",
+        help="embed the newest N ledger entries (default: 20)",
+    )
+    _ledger_arg(obs_html, record=False)
     return parser
+
+
+def _ledger_arg(parser: argparse.ArgumentParser, *, record: bool = True) -> None:
+    verb = "append evaluations to" if record else "read run history from"
+    parser.add_argument(
+        "--ledger", metavar="PATH", nargs="?", const=DEFAULT_LEDGER_PATH, default=None,
+        help=f"{verb} a JSONL run ledger (default path: {DEFAULT_LEDGER_PATH})",
+    )
 
 
 def _server_args(parser: argparse.ArgumentParser) -> None:
@@ -152,6 +222,7 @@ def _runner_args(parser: argparse.ArgumentParser) -> None:
         help="per-point wall-clock budget; points past it are quarantined "
         "(needs --jobs: only pool workers can be abandoned)",
     )
+    _ledger_arg(parser)
 
 
 def _configure_runner(args) -> None:
@@ -165,7 +236,14 @@ def _configure_runner(args) -> None:
     cache_dir = getattr(args, "cache_dir", None)
     retries = getattr(args, "retries", None)
     timeout = getattr(args, "timeout", None)
-    if jobs is None and cache_dir is None and retries is None and timeout is None:
+    ledger = getattr(args, "ledger", None)
+    if (
+        jobs is None
+        and cache_dir is None
+        and retries is None
+        and timeout is None
+        and ledger is None
+    ):
         return
     runner.configure(
         executor="process" if jobs else "serial",
@@ -174,6 +252,7 @@ def _configure_runner(args) -> None:
         retries=retries or 0,
         timeout=timeout,
         on_error="quarantine" if (retries is not None or timeout is not None) else "raise",
+        ledger=ledger,
     )
 
 
@@ -302,8 +381,10 @@ def cmd_experiments(args, out) -> int:
 def cmd_report(args, out) -> int:
     from repro.experiments.report_writer import write_report
 
-    write_report(args.output)
+    write_report(args.output, ledger=args.ledger)
     print(f"wrote {args.output}", file=out)
+    if args.ledger:
+        print(f"appended computed evaluations to {args.ledger}", file=out)
     return 0
 
 
@@ -323,7 +404,8 @@ def cmd_trace(args, out) -> int:
 
 
 def cmd_obs(args, out) -> int:
-    return {"report": cmd_obs_report}[args.obs_command](args, out)
+    handlers = {"report": cmd_obs_report, "diff": cmd_obs_diff, "html": cmd_obs_html}
+    return handlers[args.obs_command](args, out)
 
 
 def cmd_obs_report(args, out) -> int:
@@ -353,6 +435,108 @@ def cmd_obs_report(args, out) -> int:
         with open(args.metrics, "w", encoding="utf-8") as handle:
             handle.write(sweep.metrics().to_prometheus())
         print(f"wrote {args.metrics}", file=out)
+    if args.ledger:
+        point = SweepPoint.evaluate(policy, llm(args.model), args.batch, server)
+        ledger = RunLedger(args.ledger)
+        ledger.record(
+            outcome,
+            label=point.label(),
+            config_key=point.key(),
+            server=server,
+            source="cli",
+        )
+        print(f"recorded to {args.ledger} ({len(ledger)} entries)", file=out)
+    return 0
+
+
+def _load_diff_side(path: str, label_filter: str | None):
+    """Load one ``obs diff`` operand: ``(entry, attribution, label)``.
+
+    A file whose whole body parses as a JSON object with ``traceEvents``
+    is an exported Chrome trace (``entry`` comes back ``None``); anything
+    else is treated as a ledger JSONL, resolved to its newest entry
+    (optionally restricted to ``label_filter``).
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except ValueError:  # multi-line JSONL: not a single JSON document
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        trace, windows = events_to_trace(payload["traceEvents"])
+        if not windows:
+            raise LedgerError(
+                f"{path}: trace has no stage windows; export it via "
+                "'repro trace' or 'repro obs report --trace'"
+            )
+        return None, attribute(trace, windows), os.path.basename(path)
+    entry = load_ledger(path).last(label_filter)
+    if entry is None:
+        wanted = f" labelled {label_filter!r}" if label_filter else ""
+        raise LedgerError(f"{path}: no ledger entry{wanted}")
+    return entry, entry.attribution(), entry.label
+
+
+def cmd_obs_diff(args, out) -> int:
+    try:
+        entry_a, report_a, label_a = _load_diff_side(args.run_a, args.label)
+        entry_b, report_b, label_b = _load_diff_side(args.run_b, args.label)
+    except (OSError, LedgerError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if entry_a is not None and entry_b is not None:
+        diff = diff_entries(entry_a, entry_b)
+    elif report_a is not None and report_b is not None:
+        diff = diff_attributions(report_a, report_b, label_a=label_a, label_b=label_b)
+    else:
+        missing = args.run_a if report_a is None else args.run_b
+        print(f"error: {missing}: no attribution table to diff", file=out)
+        return 2
+    print(diff.render(), file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(diff.to_payload(), handle, indent=2)
+        print(f"wrote {args.json}", file=out)
+    if args.fail_on_regression and diff.regressed(args.threshold_pct):
+        print(
+            f"FAIL: iteration time regressed beyond {args.threshold_pct:g}% "
+            f"({diff.iteration_a:.2f} s -> {diff.iteration_b:.2f} s)",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+def cmd_obs_html(args, out) -> int:
+    server = _server_from(args)
+    policy = _SYSTEMS[args.system]()
+    outcome = runner.default_sweep().evaluate(
+        policy, llm(args.model), args.batch, server, detail=True
+    )
+    if not outcome.feasible:
+        print(
+            f"{policy.name}: {args.model} at batch {args.batch} does NOT fit: "
+            f"{outcome.reason}",
+            file=out,
+        )
+        return 1
+    entries = []
+    if args.ledger:
+        try:
+            entries = load_ledger(args.ledger).entries()[-args.history :]
+        except (OSError, LedgerError):
+            print(f"note: no readable ledger at {args.ledger}; history omitted", file=out)
+    write_run_report(
+        args.output,
+        title=f"{policy.name} / {args.model} batch {args.batch}",
+        subtitle=(
+            f"{server.gpu.name} · {args.memory_gb} GiB main memory · "
+            f"{args.ssds} SSDs"
+        ),
+        outcome=outcome,
+        entries=entries,
+    )
+    print(f"wrote {args.output} (self-contained; open in any browser)", file=out)
     return 0
 
 

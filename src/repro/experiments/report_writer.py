@@ -490,8 +490,17 @@ Asserted by ``tests/test_runtime_offload.py`` / ``test_runtime_dit.py``:
 """
 
 
-def write_report(path: str = "EXPERIMENTS.md") -> str:
-    """Run everything and write the report; returns the rendered text."""
+def write_report(path: str = "EXPERIMENTS.md", *, ledger: str | None = None) -> str:
+    """Run everything and write the report; returns the rendered text.
+
+    ``ledger`` (a JSONL path) attaches a run ledger to the shared sweep
+    first, so the full regeneration leaves a longitudinal record of
+    every point it computed (see :mod:`repro.obs.ledger`).
+    """
+    if ledger is not None:
+        from .common import attach_ledger
+
+        attach_ledger(ledger)
     sections = build_sections()
     held = sum(claim.holds for section in sections for claim in section.claims)
     total = sum(len(section.claims) for section in sections)

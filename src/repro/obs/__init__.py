@@ -15,6 +15,19 @@ Three pillars, all dependency-free:
   busy/stall/idle accounting that names each stage's binding resource
   and compares planned (Algorithm 1) vs actual times.
 
+Three longitudinal companions close the regression loop:
+
+* :mod:`~repro.obs.ledger` — an append-only JSONL **run ledger**
+  recording, per evaluation, the config hash, git SHA, hardware preset
+  and the full metrics/attribution payload (written by the sweep
+  runner, the experiment harnesses and ``repro obs report --ledger``);
+* :mod:`~repro.obs.diff` — the **diff engine** aligning two runs
+  stage-by-stage and attributing iteration-time deltas to resources
+  (``repro obs diff``, and the CI gate in ``benchmarks/diff_bench.py``);
+* :mod:`~repro.obs.html` — a dependency-free, self-contained **HTML
+  run report** (timeline + utilization + planned-vs-actual + ledger
+  history) via ``repro obs html``.
+
 Surfaced through ``repro obs report`` on the CLI, the ``attribution``
 block inside every simulated :class:`~repro.core.evaluation.EvalOutcome`
 ``metrics`` dict, and the sweep runner's per-sweep registry.
@@ -26,6 +39,24 @@ from .attribution import (
     ResourceUsage,
     StageBreakdown,
     attribute,
+)
+from .diff import (
+    ResourceDelta,
+    RunDiff,
+    StageDelta,
+    diff_attributions,
+    diff_entries,
+    diff_traces,
+)
+from .html import render_run_report, timeline_svg, write_run_report
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    LedgerEntry,
+    LedgerError,
+    RunLedger,
+    current_git_sha,
+    entry_from_outcome,
+    load_ledger,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -58,6 +89,22 @@ __all__ = [
     "ResourceUsage",
     "StageBreakdown",
     "attribute",
+    "ResourceDelta",
+    "RunDiff",
+    "StageDelta",
+    "diff_attributions",
+    "diff_entries",
+    "diff_traces",
+    "render_run_report",
+    "timeline_svg",
+    "write_run_report",
+    "DEFAULT_LEDGER_PATH",
+    "LedgerEntry",
+    "LedgerError",
+    "RunLedger",
+    "current_git_sha",
+    "entry_from_outcome",
+    "load_ledger",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

@@ -1,0 +1,365 @@
+"""Trace/run diffing: attribute an iteration-time delta to resources.
+
+Given two runs of "the same" workload — two ledger entries, two
+attribution reports, or two raw traces with stage windows — the diff
+engine aligns their stages and answers the regression-triage question
+directly: *which stage moved, by how much, and which resource is to
+blame*.  For each aligned stage it compares the per-resource busy
+seconds from :mod:`repro.obs.attribution`, names the resource whose
+busy time grew the most (the delta's dominant contributor), and calls
+out **binding-resource flips** — the stage used to be bound by the GPU
+and is now bound by the SSD array, which under the paper's Eqs. 4–5
+``max`` means the schedule crossed into a different regime, not merely
+drifted.
+
+Output is two-faced: :meth:`RunDiff.render` is the human narrative
+("backward +18% because ssd busy rose 61%→84%; binding resource flipped
+gpu0→ssd"), :meth:`RunDiff.to_payload` the machine-readable form the CI
+gate (``benchmarks/diff_bench.py``) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.sim.trace import Trace
+
+from .attribution import AttributionReport, StageBreakdown, attribute
+from .ledger import LedgerEntry
+
+#: Relative stage change below which a stage is reported as unchanged.
+NOISE_FLOOR_PCT = 0.5
+
+
+def _pct(new: float, old: float) -> float | None:
+    """Relative change in percent, ``None`` when the base is degenerate."""
+    if old is None or new is None or old <= 0:
+        return None
+    return (new - old) / old * 100.0
+
+
+@dataclass(frozen=True)
+class ResourceDelta:
+    """One resource's busy time in stage windows of runs A and B."""
+
+    resource: str
+    busy_a: float
+    busy_b: float
+    util_a: float
+    util_b: float
+
+    @property
+    def delta_s(self) -> float:
+        return self.busy_b - self.busy_a
+
+    def render(self) -> str:
+        return (
+            f"{self.resource} busy {100 * self.util_a:.0f}%→"
+            f"{100 * self.util_b:.0f}% ({self.delta_s:+.1f} s)"
+        )
+
+
+@dataclass
+class StageDelta:
+    """One aligned stage: spans, binding resources and per-resource deltas."""
+
+    stage: str
+    span_a: float
+    span_b: float
+    bottleneck_a: str = ""
+    bottleneck_b: str = ""
+    resources: list[ResourceDelta] = field(default_factory=list)
+    #: ``"a"``/``"b"`` when the stage exists in only one run (e.g. a
+    #: separate optimizer stage appearing under a different policy).
+    only_in: str | None = None
+
+    @property
+    def delta_s(self) -> float:
+        return self.span_b - self.span_a
+
+    @property
+    def delta_pct(self) -> float | None:
+        return _pct(self.span_b, self.span_a)
+
+    @property
+    def binding_flipped(self) -> bool:
+        return (
+            bool(self.bottleneck_a)
+            and bool(self.bottleneck_b)
+            and self.bottleneck_a != self.bottleneck_b
+        )
+
+    def dominant(self) -> ResourceDelta | None:
+        """The resource whose busy time grew (or shrank) the most.
+
+        For a slowdown the blame goes to the largest busy-time *increase*;
+        for a speedup, the largest decrease.  ``None`` when nothing moved.
+        """
+        if not self.resources:
+            return None
+        if self.delta_s >= 0:
+            candidate = max(self.resources, key=lambda r: r.delta_s)
+            return candidate if candidate.delta_s > 0 else None
+        candidate = min(self.resources, key=lambda r: r.delta_s)
+        return candidate if candidate.delta_s < 0 else None
+
+    def render(self) -> str:
+        if self.only_in is not None:
+            run = "run A only" if self.only_in == "a" else "run B only"
+            span = self.span_a if self.only_in == "a" else self.span_b
+            return f"[{self.stage}] {span:.1f} s ({run})"
+        pct = self.delta_pct
+        pct_text = f" ({pct:+.1f}%)" if pct is not None else ""
+        line = f"[{self.stage}] {self.span_a:.1f} s → {self.span_b:.1f} s{pct_text}"
+        causes: list[str] = []
+        dominant = self.dominant()
+        if dominant is not None and abs(self.delta_s) > 1e-9:
+            causes.append(dominant.render())
+        if self.binding_flipped:
+            causes.append(
+                f"binding resource flipped {self.bottleneck_a}→{self.bottleneck_b}"
+                " (Eqs. 4–5 max moved)"
+            )
+        if causes:
+            line += ": " + "; ".join(causes)
+        return line
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "span_a_s": self.span_a,
+            "span_b_s": self.span_b,
+            "delta_s": self.delta_s,
+            "delta_pct": self.delta_pct,
+            "bottleneck_a": self.bottleneck_a,
+            "bottleneck_b": self.bottleneck_b,
+            "binding_flipped": self.binding_flipped,
+            "only_in": self.only_in,
+            "dominant_resource": (self.dominant().resource if self.dominant() else None),
+            "resources": {
+                row.resource: {
+                    "busy_a_s": row.busy_a,
+                    "busy_b_s": row.busy_b,
+                    "delta_s": row.delta_s,
+                    "util_a": row.util_a,
+                    "util_b": row.util_b,
+                }
+                for row in self.resources
+            },
+        }
+
+
+@dataclass
+class RunDiff:
+    """The full A-vs-B comparison: iteration delta plus per-stage blame."""
+
+    label_a: str
+    label_b: str
+    iteration_a: float
+    iteration_b: float
+    stages: list[StageDelta] = field(default_factory=list)
+    scalars_a: dict[str, float] = field(default_factory=dict)
+    scalars_b: dict[str, float] = field(default_factory=dict)
+    #: Non-fatal caveats (config-key drift, missing attribution, ...).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def delta_s(self) -> float:
+        return self.iteration_b - self.iteration_a
+
+    @property
+    def delta_pct(self) -> float | None:
+        return _pct(self.iteration_b, self.iteration_a)
+
+    def stage(self, name: str) -> StageDelta:
+        for delta in self.stages:
+            if delta.stage == name:
+                return delta
+        raise KeyError(f"no stage {name!r} in this diff")
+
+    def regressions(self, threshold_pct: float = 10.0) -> list[StageDelta]:
+        """Stages that slowed beyond ``threshold_pct`` (aligned ones only)."""
+        return [
+            delta
+            for delta in self.stages
+            if delta.only_in is None
+            and delta.delta_pct is not None
+            and delta.delta_pct > threshold_pct
+        ]
+
+    def regressed(self, threshold_pct: float = 10.0) -> bool:
+        """True when the *iteration* slowed beyond the threshold."""
+        pct = self.delta_pct
+        return pct is not None and pct > threshold_pct
+
+    def render(self) -> str:
+        """The human-facing narrative: headline, per-stage blame, caveats."""
+        pct = self.delta_pct
+        pct_text = f" ({pct:+.1f}%)" if pct is not None else ""
+        verdict = "regressed" if self.delta_s > 0 else ("improved" if self.delta_s < 0 else "unchanged")
+        lines = [
+            f"{self.label_a} → {self.label_b}",
+            f"iteration: {self.iteration_a:.1f} s → {self.iteration_b:.1f} s"
+            f"{pct_text} — {verdict}",
+        ]
+        for name in ("tokens_per_s", "achieved_tflops"):
+            if name in self.scalars_a and name in self.scalars_b:
+                lines.append(
+                    f"{name}: {self.scalars_a[name]:.1f} → {self.scalars_b[name]:.1f}"
+                )
+        lines.append("")
+        for delta in self.stages:
+            pct = delta.delta_pct
+            if (
+                delta.only_in is None
+                and pct is not None
+                and abs(pct) < NOISE_FLOOR_PCT
+            ):
+                lines.append(f"[{delta.stage}] unchanged ({delta.span_b:.1f} s)")
+                continue
+            lines.append(delta.render())
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Machine-readable form (consumed by ``benchmarks/diff_bench.py``)."""
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "iteration_a_s": self.iteration_a,
+            "iteration_b_s": self.iteration_b,
+            "delta_s": self.delta_s,
+            "delta_pct": self.delta_pct,
+            "scalars_a": self.scalars_a,
+            "scalars_b": self.scalars_b,
+            "stages": [delta.to_payload() for delta in self.stages],
+            "notes": list(self.notes),
+        }
+
+
+def _stage_delta(
+    name: str, a: StageBreakdown | None, b: StageBreakdown | None
+) -> StageDelta:
+    if a is None or b is None:
+        present = a if a is not None else b
+        assert present is not None
+        return StageDelta(
+            stage=name,
+            span_a=a.span_s if a else 0.0,
+            span_b=b.span_s if b else 0.0,
+            bottleneck_a=a.bottleneck if a else "",
+            bottleneck_b=b.bottleneck if b else "",
+            only_in="a" if b is None else "b",
+        )
+    names = {row.resource for row in a.resources} | {row.resource for row in b.resources}
+    rows = []
+    for resource in sorted(names):
+        usage_a = a.usage(resource)
+        usage_b = b.usage(resource)
+        rows.append(
+            ResourceDelta(
+                resource=resource,
+                busy_a=usage_a.busy_s if usage_a else 0.0,
+                busy_b=usage_b.busy_s if usage_b else 0.0,
+                util_a=usage_a.utilization if usage_a else 0.0,
+                util_b=usage_b.utilization if usage_b else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: abs(row.delta_s), reverse=True)
+    return StageDelta(
+        stage=name,
+        span_a=a.span_s,
+        span_b=b.span_s,
+        bottleneck_a=a.bottleneck,
+        bottleneck_b=b.bottleneck,
+        resources=rows,
+    )
+
+
+def diff_attributions(
+    a: AttributionReport,
+    b: AttributionReport,
+    *,
+    label_a: str = "run A",
+    label_b: str = "run B",
+) -> RunDiff:
+    """Align two attribution reports stage-by-stage and diff them.
+
+    Stage order follows run A, with run-B-only stages appended — so the
+    familiar forward/backward/optimizer reading order is preserved.
+    """
+    by_name_a = {stage.stage: stage for stage in a.stages}
+    by_name_b = {stage.stage: stage for stage in b.stages}
+    order = list(by_name_a) + [name for name in by_name_b if name not in by_name_a]
+    return RunDiff(
+        label_a=label_a,
+        label_b=label_b,
+        iteration_a=a.iteration_time,
+        iteration_b=b.iteration_time,
+        stages=[
+            _stage_delta(name, by_name_a.get(name), by_name_b.get(name))
+            for name in order
+        ],
+    )
+
+
+def diff_traces(
+    trace_a: Trace,
+    windows_a: Mapping[str, tuple[float, float]],
+    trace_b: Trace,
+    windows_b: Mapping[str, tuple[float, float]],
+    *,
+    label_a: str = "trace A",
+    label_b: str = "trace B",
+) -> RunDiff:
+    """Trace-vs-trace mode: attribute both sides first, then diff."""
+    return diff_attributions(
+        attribute(trace_a, windows_a),
+        attribute(trace_b, windows_b),
+        label_a=label_a,
+        label_b=label_b,
+    )
+
+
+#: Scalar metrics carried into the diff for context (when both runs have them).
+_SCALARS = ("tokens_per_s", "samples_per_s", "achieved_tflops", "gpu_busy_fraction")
+
+
+def diff_entries(a: LedgerEntry, b: LedgerEntry) -> RunDiff:
+    """Diff two ledger entries (attribution tables plus scalar context).
+
+    Caveats land in ``notes`` rather than raising: a label mismatch or a
+    config-key drift makes the comparison *suspect*, not impossible —
+    the caller (and the CI gate's report) should surface them.
+    """
+    report_a = a.attribution()
+    report_b = b.attribution()
+    label_a = f"{a.label}@{a.git_sha[:10]}" if a.git_sha else a.label
+    label_b = f"{b.label}@{b.git_sha[:10]}" if b.git_sha else b.label
+    if report_a is not None and report_b is not None:
+        diff = diff_attributions(report_a, report_b, label_a=label_a, label_b=label_b)
+    else:
+        diff = RunDiff(
+            label_a=label_a,
+            label_b=label_b,
+            iteration_a=a.iteration_time or 0.0,
+            iteration_b=b.iteration_time or 0.0,
+        )
+        diff.notes.append("no attribution table on one side; stage blame unavailable")
+    for name in _SCALARS:
+        value_a = a.metrics.get(name)
+        value_b = b.metrics.get(name)
+        if value_a is not None:
+            diff.scalars_a[name] = float(value_a)
+        if value_b is not None:
+            diff.scalars_b[name] = float(value_b)
+    if a.label != b.label:
+        diff.notes.append(f"labels differ: {a.label!r} vs {b.label!r}")
+    elif a.config_key and b.config_key and a.config_key != b.config_key:
+        diff.notes.append(
+            "config keys differ: the two runs evaluated different configurations "
+            "(policy state, model, batch or server changed)"
+        )
+    return diff

@@ -1,0 +1,428 @@
+"""Self-contained HTML run reports: one file that shows a run end-to-end.
+
+``repro obs html`` renders an evaluated point into a single standalone
+HTML document — inline CSS, inline SVG, **zero** external requests (no
+CDN, no JavaScript, no fonts) — so the artifact opens anywhere a CI
+system can park a file.  Sections:
+
+* a **stat row** (iteration time, tokens/s, achieved TFLOPS,
+  plan error) for the headline read;
+* the **timeline**: the same swim-lane view Perfetto renders from the
+  Chrome-trace export, drawn as SVG — one labelled lane per resource,
+  stage windows as background bands, native ``<title>`` tooltips per
+  slice;
+* **per-stage utilization bars** from the bottleneck-attribution
+  report, binding resource called out per stage;
+* the **planned-vs-actual** table (Algorithm 1's estimate against the
+  executed schedule);
+* optional **ledger history** (recent entries for context) and **sweep
+  grid** tables.
+
+Lane colors follow a fixed categorical assignment per resource family
+(every lane is also text-labelled, so color never carries identity
+alone), with a dark variant selected via ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.sim.export import lane_order
+from repro.sim.trace import Trace
+
+from .attribution import AttributionReport
+from .ledger import LedgerEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.evaluation import EvalOutcome
+
+#: Resource-family -> categorical slot class (colors live in the CSS).
+_FAMILY_CLASSES = (
+    ("gpu", "c1"),
+    ("pcie_m2g", "c2"),
+    ("pcie_g2m", "c3"),
+    ("ssd", "c4"),
+    ("cpu_adam", "c5"),
+    ("rt_", "c7"),
+)
+
+_SVG_WIDTH = 960
+_LABEL_WIDTH = 120
+_LANE_HEIGHT = 26
+_LANE_GAP = 4
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0 auto; padding: 24px; max-width: 1040px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: #f9f9f7; color: #0b0b0b;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.meta { color: #52514e; font-size: 13px; margin-bottom: 16px; }
+.card {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 16px; margin-bottom: 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: #fcfcfb; border: 1px solid rgba(11,11,11,0.10);
+  border-radius: 8px; padding: 12px 16px; min-width: 140px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { font-size: 12px; color: #52514e; margin-top: 2px; }
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+thead th { color: #52514e; font-weight: 600; border-bottom: 1px solid #c3c2b7; }
+tbody tr { border-bottom: 1px solid #e1e0d9; }
+.note { color: #52514e; font-size: 12px; }
+.bind { font-weight: 600; }
+.bar-track {
+  background: #e1e0d9; border-radius: 4px; height: 10px;
+  width: 220px; display: inline-block; vertical-align: middle;
+}
+.bar-fill { height: 10px; border-radius: 4px; display: block; }
+.lane-label { font-size: 11px; fill: #52514e; }
+.tick-label { font-size: 10px; fill: #898781; }
+.stage-label { font-size: 11px; fill: #52514e; }
+.stage-band { fill: #0b0b0b; opacity: 0.04; }
+.stage-band:nth-of-type(even) { opacity: 0.08; }
+.gridline { stroke: #e1e0d9; stroke-width: 1; }
+.baseline { stroke: #c3c2b7; stroke-width: 1; }
+svg .c1 { fill: #2a78d6; } svg .c2 { fill: #eb6834; }
+svg .c3 { fill: #1baf7a; } svg .c4 { fill: #eda100; }
+svg .c5 { fill: #e87ba4; } svg .c6 { fill: #008300; }
+svg .c7 { fill: #4a3aa7; }
+.bar-fill.c1 { background: #2a78d6; } .bar-fill.c2 { background: #eb6834; }
+.bar-fill.c3 { background: #1baf7a; } .bar-fill.c4 { background: #eda100; }
+.bar-fill.c5 { background: #e87ba4; } .bar-fill.c6 { background: #008300; }
+.bar-fill.c7 { background: #4a3aa7; }
+@media (prefers-color-scheme: dark) {
+  body { background: #0d0d0d; color: #ffffff; }
+  .card, .tile { background: #1a1a19; border-color: rgba(255,255,255,0.10); }
+  .meta, .tile .k, .note, thead th { color: #c3c2b7; }
+  thead th { border-bottom-color: #383835; }
+  tbody tr { border-bottom-color: #2c2c2a; }
+  .bar-track { background: #2c2c2a; }
+  .lane-label, .stage-label { fill: #c3c2b7; }
+  .tick-label { fill: #898781; }
+  .stage-band { fill: #ffffff; }
+  .gridline { stroke: #2c2c2a; }
+  .baseline { stroke: #383835; }
+  svg .c1 { fill: #3987e5; } svg .c2 { fill: #d95926; }
+  svg .c3 { fill: #199e70; } svg .c4 { fill: #c98500; }
+  svg .c5 { fill: #d55181; } svg .c7 { fill: #9085e9; }
+  .bar-fill.c1 { background: #3987e5; } .bar-fill.c2 { background: #d95926; }
+  .bar-fill.c3 { background: #199e70; } .bar-fill.c4 { background: #c98500; }
+  .bar-fill.c5 { background: #d55181; } .bar-fill.c7 { background: #9085e9; }
+}
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def lane_class(resource: str) -> str:
+    """The categorical color class for one resource lane."""
+    for prefix, cls in _FAMILY_CLASSES:
+        if resource.startswith(prefix):
+            return cls
+    return "c6"
+
+
+def _nice_tick(total: float) -> float:
+    """A pleasant tick spacing giving roughly 8-12 divisions."""
+    if total <= 0:
+        return 1.0
+    raw = total / 10
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        if raw <= mult * magnitude:
+            return mult * magnitude
+    return 10 * magnitude
+
+
+def timeline_svg(
+    trace: Trace,
+    stage_windows: Mapping[str, tuple[float, float]] | None = None,
+) -> str:
+    """The swim-lane timeline as one inline SVG element."""
+    lanes = lane_order(trace)
+    if not lanes:
+        return '<p class="note">empty trace</p>'
+    end = max((interval.end for interval in trace.intervals), default=0.0)
+    if stage_windows:
+        end = max(end, max(hi for _lo, hi in stage_windows.values()))
+    end = end or 1.0
+    plot_w = _SVG_WIDTH - _LABEL_WIDTH - 10
+    scale = plot_w / end
+    top = 22  # room for stage labels / axis
+    height = top + len(lanes) * (_LANE_HEIGHT + _LANE_GAP) + 24
+    lane_y = {
+        name: top + index * (_LANE_HEIGHT + _LANE_GAP) for index, name in enumerate(lanes)
+    }
+    parts = [
+        f'<svg viewBox="0 0 {_SVG_WIDTH} {height}" width="100%" '
+        f'role="img" aria-label="resource timeline" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+
+    def x(t: float) -> float:
+        return _LABEL_WIDTH + t * scale
+
+    body_h = len(lanes) * (_LANE_HEIGHT + _LANE_GAP)
+    if stage_windows:
+        for stage, (lo, hi) in stage_windows.items():
+            if hi <= lo:
+                continue
+            parts.append(
+                f'<rect class="stage-band" x="{x(lo):.1f}" y="{top}" '
+                f'width="{(hi - lo) * scale:.1f}" height="{body_h}"/>'
+            )
+            parts.append(
+                f'<text class="stage-label" x="{x((lo + hi) / 2):.1f}" y="14" '
+                f'text-anchor="middle">{_esc(stage)}</text>'
+            )
+    tick = _nice_tick(end)
+    t = 0.0
+    while t <= end + 1e-9:
+        parts.append(
+            f'<line class="gridline" x1="{x(t):.1f}" y1="{top}" '
+            f'x2="{x(t):.1f}" y2="{top + body_h}"/>'
+        )
+        parts.append(
+            f'<text class="tick-label" x="{x(t):.1f}" y="{top + body_h + 14}" '
+            f'text-anchor="middle">{t:g}s</text>'
+        )
+        t += tick
+    for name, y in lane_y.items():
+        parts.append(
+            f'<text class="lane-label" x="{_LABEL_WIDTH - 8}" '
+            f'y="{y + _LANE_HEIGHT / 2 + 4}" text-anchor="end">{_esc(name)}</text>'
+        )
+        parts.append(
+            f'<line class="baseline" x1="{_LABEL_WIDTH}" y1="{y + _LANE_HEIGHT}" '
+            f'x2="{_SVG_WIDTH - 10}" y2="{y + _LANE_HEIGHT}"/>'
+        )
+    for interval in trace.intervals:
+        y = lane_y.get(interval.resource)
+        if y is None:
+            continue
+        width = max(interval.duration * scale, 0.5)
+        label = interval.label or interval.resource
+        parts.append(
+            f'<rect class="{lane_class(interval.resource)}" x="{x(interval.start):.2f}" '
+            f'y="{y + 2}" width="{width:.2f}" height="{_LANE_HEIGHT - 4}" rx="2">'
+            f"<title>{_esc(label)}: {interval.start:.2f}-{interval.end:.2f} s "
+            f"(amount {interval.amount:.3g})</title></rect>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _stat_tiles(pairs: Sequence[tuple[str, str]]) -> str:
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(key)}</div></div>'
+        for key, value in pairs
+    )
+    return f'<div class="tiles">{tiles}</div>'
+
+
+def utilization_section(report: AttributionReport) -> str:
+    """Per-stage busy bars, binding resource called out per stage."""
+    parts: list[str] = []
+    for stage in report.stages:
+        parts.append(
+            f"<h2>{_esc(stage.stage)} — {stage.span_s:.1f} s, bound by "
+            f'<span class="bind">{_esc(stage.bottleneck or "nothing")}</span>'
+            f" (idle {stage.idle_s:.1f} s)</h2>"
+        )
+        rows = []
+        for row in stage.resources:
+            pct = min(100.0, 100.0 * row.utilization)
+            stall_pct = 100 * row.stall_s / stage.span_s if stage.span_s > 0 else 0.0
+            rows.append(
+                "<tr>"
+                f"<td>{_esc(row.resource)}</td>"
+                f'<td><span class="bar-track"><span class="bar-fill '
+                f'{lane_class(row.resource)}" style="width:{pct:.1f}%"></span></span></td>'
+                f'<td class="num">{100 * row.utilization:.0f}%</td>'
+                f'<td class="num">{row.busy_s:.1f} s</td>'
+                f'<td class="num">{stall_pct:.0f}%</td>'
+                "</tr>"
+            )
+        parts.append(
+            '<div class="card"><table><thead><tr><th>resource</th><th>busy</th>'
+            '<th class="num">busy%</th><th class="num">busy s</th>'
+            '<th class="num">stall%</th></tr></thead><tbody>'
+            + "".join(rows)
+            + "</tbody></table></div>"
+        )
+    return "".join(parts)
+
+
+def planned_vs_actual_table(report: AttributionReport) -> str:
+    """Algorithm 1's estimate against the executed schedule, per stage."""
+    rows = []
+    for stage in report.stages:
+        planned = f"{stage.predicted_s:.1f}" if stage.predicted_s is not None else "—"
+        drift = (
+            f"{(stage.span_s - stage.predicted_s) / stage.predicted_s * 100:+.0f}%"
+            if stage.predicted_s
+            else "—"
+        )
+        flip = ""
+        if stage.predicted_bottleneck and stage.predicted_bottleneck != stage.bottleneck:
+            flip = (
+                f"plan expected {_esc(stage.predicted_bottleneck)}, "
+                f"got {_esc(stage.bottleneck)}"
+            )
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(stage.stage)}</td>"
+            f'<td class="num">{planned}</td>'
+            f'<td class="num">{stage.span_s:.1f}</td>'
+            f'<td class="num">{drift}</td>'
+            f"<td>{_esc(stage.bottleneck)}</td>"
+            f"<td>{flip}</td>"
+            "</tr>"
+        )
+    total = ""
+    if report.predicted_time is not None:
+        error = report.prediction_error or 0.0
+        total = (
+            f'<p class="note">iteration: planned {report.predicted_time:.1f} s, '
+            f"actual {report.iteration_time:.1f} s ({100 * error:+.0f}% vs plan)</p>"
+        )
+    return (
+        '<div class="card"><table><thead><tr><th>stage</th>'
+        '<th class="num">planned s</th><th class="num">actual s</th>'
+        '<th class="num">drift</th><th>bound by</th><th></th></tr></thead>'
+        "<tbody>" + "".join(rows) + "</tbody></table>" + total + "</div>"
+    )
+
+
+def ledger_section(entries: Iterable[LedgerEntry]) -> str:
+    """Recent ledger entries as a history table (newest last)."""
+    rows = []
+    for entry in entries:
+        iteration = f"{entry.iteration_time:.1f}" if entry.iteration_time else "—"
+        tokens = f"{entry.tokens_per_s:.0f}" if entry.tokens_per_s else "—"
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(entry.timestamp or '—')}</td>"
+            f"<td>{_esc(entry.git_sha[:10] or '—')}</td>"
+            f"<td>{_esc(entry.label)}</td>"
+            f'<td class="num">{iteration}</td>'
+            f'<td class="num">{tokens}</td>'
+            f"<td>{_esc(entry.source or '—')}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        "<h2>Run ledger</h2>"
+        '<div class="card"><table><thead><tr><th>when</th><th>git</th>'
+        '<th>run</th><th class="num">iter s</th><th class="num">token/s</th>'
+        "<th>source</th></tr></thead><tbody>" + "".join(rows) + "</tbody></table></div>"
+    )
+
+
+def grid_section(tables: Iterable[Any]) -> str:
+    """Sweep/experiment grids (``ExperimentResult``-shaped: columns + rows)."""
+    parts = []
+    for table in tables:
+        title = getattr(table, "title", "") or getattr(table, "experiment", "grid")
+        columns = list(getattr(table, "columns", []))
+        rows = getattr(table, "rows", [])
+        head = "".join(f"<th>{_esc(column)}</th>" for column in columns)
+        body = []
+        for row in rows:
+            cells = []
+            for value in row:
+                if isinstance(value, float):
+                    cells.append(f'<td class="num">{value:.1f}</td>')
+                else:
+                    cells.append(f"<td>{_esc(value)}</td>")
+            body.append("<tr>" + "".join(cells) + "</tr>")
+        parts.append(
+            f"<h2>{_esc(title)}</h2>"
+            f'<div class="card"><table><thead><tr>{head}</tr></thead>'
+            "<tbody>" + "".join(body) + "</tbody></table></div>"
+        )
+    return "".join(parts)
+
+
+def render_run_report(
+    *,
+    title: str,
+    subtitle: str = "",
+    outcome: "EvalOutcome | None" = None,
+    trace: Trace | None = None,
+    stage_windows: Mapping[str, tuple[float, float]] | None = None,
+    attribution: AttributionReport | None = None,
+    entries: Iterable[LedgerEntry] = (),
+    tables: Iterable[Any] = (),
+) -> str:
+    """Render the standalone HTML document and return it as a string.
+
+    ``outcome`` (with a live result) supplies trace, stage windows and
+    attribution in one go; pass them explicitly for runtime-recorded or
+    synthetic traces.
+    """
+    if outcome is not None:
+        if attribution is None:
+            attribution = outcome.attribution()
+        if trace is None and outcome.result is not None:
+            trace = outcome.result.trace
+            if stage_windows is None:
+                stage_windows = outcome.result.stage_windows
+
+    tiles: list[tuple[str, str]] = []
+    if attribution is not None:
+        tiles.append(("iteration time", f"{attribution.iteration_time:.1f} s"))
+        if attribution.prediction_error is not None:
+            tiles.append(("vs plan", f"{100 * attribution.prediction_error:+.0f}%"))
+    if outcome is not None:
+        for key, fmt in (("tokens_per_s", "{:.0f}"), ("achieved_tflops", "{:.1f}")):
+            value = outcome.metrics.get(key)
+            if value is not None:
+                tiles.append((key.replace("_", " "), fmt.format(float(value))))
+
+    sections: list[str] = []
+    if tiles:
+        sections.append(_stat_tiles(tiles))
+    if trace is not None:
+        sections.append("<h2>Timeline</h2>")
+        sections.append(f'<div class="card">{timeline_svg(trace, stage_windows)}</div>')
+    if attribution is not None:
+        sections.append(utilization_section(attribution))
+        sections.append("<h2>Planned vs actual</h2>")
+        sections.append(planned_vs_actual_table(attribution))
+    sections.append(grid_section(tables))
+    sections.append(ledger_section(entries))
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f'<div class="meta">{_esc(subtitle)}</div>'
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_run_report(path: str, **kwargs: Any) -> str:
+    """Render (see :func:`render_run_report`) and write; returns the HTML."""
+    text = render_run_report(**kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,260 @@
+"""Append-only JSONL run ledger: the longitudinal memory of evaluations.
+
+Every evaluation the repo cares about — a CLI ``repro sweep`` point, an
+experiment-harness grid cell, a ``repro obs report --ledger`` run — can
+be recorded as one :class:`LedgerEntry` line in a JSON-lines file.  An
+entry carries everything needed to compare two runs *later, on another
+machine, without re-simulating*: the point's content key (the same
+SHA-256 the runner memoizes on), the git SHA the code was at, the
+hardware preset, the full ``EvalOutcome.metrics`` payload and — inside
+it — the per-stage per-resource bottleneck-attribution table from
+:mod:`repro.obs.attribution`.
+
+The format is deliberately boring: one JSON object per line, append
+only, readable with ``jq`` and diffable with
+:mod:`repro.obs.diff` / ``repro obs diff``.  Corrupt or foreign lines
+are skipped on read (a ledger survives concurrent writers and partial
+writes), and a ``schema`` field versions each entry independently.
+
+The conventional home for the repo's own trajectory is
+:data:`DEFAULT_LEDGER_PATH` (``benchmarks/results/ledger.jsonl``) — the
+committed copy there is the CI regression gate's baseline
+(``benchmarks/diff_bench.py``).
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import subprocess
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .attribution import AttributionReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.evaluation import EvalOutcome
+    from repro.hardware.spec import ServerSpec
+
+#: Bump when an entry's shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Where the repo's own run trajectory conventionally lives (the CI
+#: gate's committed baseline).  Relative to the working directory.
+DEFAULT_LEDGER_PATH = os.path.join("benchmarks", "results", "ledger.jsonl")
+
+
+class LedgerError(ValueError):
+    """Raised for unusable ledger files or malformed entries."""
+
+
+def current_git_sha(cwd: str | None = None) -> str:
+    """The current ``HEAD`` SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def hardware_payload(server: "ServerSpec") -> dict[str, Any]:
+    """The serialisable gist of a server spec (enough to group runs by)."""
+    return {
+        "server": server.name,
+        "gpu": server.gpu.name,
+        "n_gpus": server.n_gpus,
+        "main_memory_bytes": server.main_memory_bytes,
+        "n_ssds": server.n_ssds,
+        "ssd": server.ssd.name,
+    }
+
+
+@dataclass
+class LedgerEntry:
+    """One recorded evaluation: identity, provenance and metrics.
+
+    ``label`` is the run's comparison identity — two ledgers are aligned
+    label-to-label by the diff engine — and defaults to the sweep
+    point's ``kind:policy/model/bN@server`` form.  ``config_key`` is the
+    runner's content key for the exact point (policy state + model
+    config + batch + full server spec), so "same label, different key"
+    detects a config drift that would make a comparison misleading.
+    """
+
+    label: str
+    policy: str
+    model: str
+    batch_size: int | None
+    server: str
+    feasible: bool
+    metrics: dict[str, Any] = field(default_factory=dict)
+    kind: str = "evaluate"
+    config_key: str = ""
+    git_sha: str = ""
+    hardware: dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+    cached: bool = False
+    timestamp: str = ""
+    schema: int = SCHEMA_VERSION
+
+    # -- metric accessors ------------------------------------------------------
+
+    @property
+    def iteration_time(self) -> float | None:
+        value = self.metrics.get("iteration_time")
+        return float(value) if value is not None else None
+
+    @property
+    def tokens_per_s(self) -> float | None:
+        value = self.metrics.get("tokens_per_s")
+        return float(value) if value is not None else None
+
+    def attribution(self) -> AttributionReport | None:
+        """The embedded bottleneck-attribution report, when present."""
+        payload = self.metrics.get("attribution")
+        if payload is None:
+            return None
+        return AttributionReport.from_payload(payload)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "LedgerEntry":
+        if not isinstance(payload, dict) or "label" not in payload:
+            raise LedgerError(f"not a ledger entry: {payload!r}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+def entry_from_outcome(
+    outcome: "EvalOutcome",
+    *,
+    label: str | None = None,
+    kind: str = "evaluate",
+    config_key: str = "",
+    server: "ServerSpec | None" = None,
+    source: str = "",
+    git_sha: str | None = None,
+    timestamp: str | None = None,
+) -> LedgerEntry:
+    """Build a ledger entry from an :class:`EvalOutcome`.
+
+    ``server`` (the full spec, when the caller still has it) populates
+    the hardware block; the outcome alone only knows the server's name.
+    """
+    if timestamp is None:
+        timestamp = (
+            _datetime.datetime.now(_datetime.timezone.utc)
+            .isoformat(timespec="seconds")
+        )
+    return LedgerEntry(
+        label=label
+        or f"{kind}:{outcome.policy}/{outcome.model}/b{outcome.batch_size}@{outcome.server}",
+        policy=outcome.policy,
+        model=outcome.model,
+        batch_size=outcome.batch_size,
+        server=outcome.server,
+        feasible=outcome.feasible,
+        metrics=outcome.metrics,
+        kind=kind,
+        config_key=config_key,
+        git_sha=git_sha if git_sha is not None else current_git_sha(),
+        hardware=hardware_payload(server) if server is not None else {},
+        source=source,
+        cached=outcome.cached,
+        timestamp=timestamp,
+    )
+
+
+class RunLedger:
+    """An append-only JSONL file of :class:`LedgerEntry` lines.
+
+    Reads are tolerant: lines that fail to parse (or parse to something
+    that is not an entry) are counted in ``skipped`` and ignored, so one
+    torn write never poisons the trajectory.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.skipped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"RunLedger({self.path!r})"
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, entry: LedgerEntry) -> LedgerEntry:
+        """Append one entry (creating the parent directory as needed)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = json.dumps(entry.to_payload(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return entry
+
+    def record(
+        self,
+        outcome: "EvalOutcome",
+        **entry_kwargs: Any,
+    ) -> LedgerEntry:
+        """Build an entry from an outcome (see :func:`entry_from_outcome`) and append it."""
+        return self.append(entry_from_outcome(outcome, **entry_kwargs))
+
+    # -- reading ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        self.skipped = 0
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield LedgerEntry.from_payload(json.loads(line))
+                except (json.JSONDecodeError, LedgerError, TypeError):
+                    self.skipped += 1
+
+    def entries(self) -> list[LedgerEntry]:
+        """Every parseable entry, in file (= chronological append) order."""
+        # A comprehension, not list(self): list() would probe __len__ for a
+        # size hint, and __len__ is itself defined in terms of this method.
+        return [entry for entry in self]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def last(self, label: str | None = None) -> LedgerEntry | None:
+        """The newest entry, optionally restricted to one label."""
+        found: LedgerEntry | None = None
+        for entry in self:
+            if label is None or entry.label == label:
+                found = entry
+        return found
+
+    def latest_by_label(self) -> dict[str, LedgerEntry]:
+        """The newest entry per label — the "current state" view a diff aligns."""
+        latest: dict[str, LedgerEntry] = {}
+        for entry in self:
+            latest[entry.label] = entry
+        return latest
+
+
+def load_ledger(path: str) -> RunLedger:
+    """Open a ledger for reading, failing early when the file is absent."""
+    if not os.path.exists(path):
+        raise LedgerError(f"no ledger at {path!r}")
+    return RunLedger(path)

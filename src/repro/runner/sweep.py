@@ -52,6 +52,7 @@ from repro.core.multi_gpu import max_global_batch, run_data_parallel
 from repro.core.policy import OffloadPolicy
 from repro.hardware.spec import ServerSpec
 from repro.models.profile import profile_model
+from repro.obs.ledger import RunLedger
 from repro.obs.metrics import MetricsRegistry, RegistrySnapshot
 
 from .cache import DISK, ResultCache
@@ -319,6 +320,14 @@ class Sweep:
     retries, timeouts, quarantined failures and pool rebuilds are all
     counted, and process-pool workers ship their own metered snapshots
     back for merging — ``metrics()`` returns the combined view.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path string)
+    turns on the longitudinal run ledger: every *computed*
+    ``evaluate``/``data_parallel`` outcome is appended as one JSONL
+    entry (content key, git SHA, hardware, metrics + attribution) —
+    cache hits are not re-recorded, so the ledger is a log of
+    evaluations that actually executed.  A ledger write failure is
+    logged, never fatal to the sweep.
     """
 
     executor: str = "serial"
@@ -331,6 +340,7 @@ class Sweep:
     timeout: float | None = None
     on_error: str = "raise"
     registry: MetricsRegistry = None  # type: ignore[assignment]
+    ledger: RunLedger | str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -347,6 +357,8 @@ class Sweep:
             self.cache = ResultCache(disk_dir=self.cache_dir)
         if self.registry is None:
             self.registry = MetricsRegistry()
+        if isinstance(self.ledger, str):
+            self.ledger = RunLedger(self.ledger)
 
     @property
     def stats(self):
@@ -421,6 +433,7 @@ class Sweep:
         value = self._compute_resilient(point)
         if not isinstance(value, PointFailure):
             self.cache.put(key, value, _encode(value))
+            self._record_ledger(point, value, key=key)
         logger.debug(
             "computed %s in %.3fs", point.label(), time.perf_counter() - started
         )
@@ -485,6 +498,30 @@ class Sweep:
 
     # -- internals -------------------------------------------------------------
 
+    def _record_ledger(self, point: SweepPoint, value: Any, *, key: str = "") -> None:
+        """Append a computed evaluation to the run ledger (never fatal)."""
+        if self.ledger is None or not isinstance(self.ledger, RunLedger):
+            return
+        if point.kind not in ("evaluate", "data_parallel"):
+            return
+        if not isinstance(value, EvalOutcome):
+            return
+        try:
+            self.ledger.record(
+                value,
+                label=point.label(),
+                kind=point.kind,
+                config_key=key or point.key(),
+                server=point.server,
+                source="runner",
+            )
+            self.registry.counter("sweep_ledger_entries_total").inc(kind=point.kind)
+        except OSError:
+            logger.exception(
+                "ledger append failed for %s (ledger %s); continuing the sweep",
+                point.label(), self.ledger.path,
+            )
+
     def _compute_resilient(self, point: SweepPoint) -> Any:
         """Compute one point in-process with retry/backoff/quarantine."""
         delay = self.retry_backoff_s
@@ -535,6 +572,7 @@ class Sweep:
                 self._resolve(key, value, pending, unique, results, total, started)
                 continue
             self.cache.put(key, value, _encode(value))
+            self._record_ledger(point, value, key=key)
             self._resolve(key, value, pending, unique, results, total, started)
 
     def _drain_pool(self, mode, max_workers, pending, unique, results, total, started) -> None:
@@ -669,6 +707,7 @@ class Sweep:
                         self.cache.put(key, value, envelope)
                     else:
                         self.cache.put(key, value, _encode(value))
+                    self._record_ledger(point, value, key=key)
                     self._resolve(key, value, pending, unique, results, total, started)
 
                 if broken is not None:

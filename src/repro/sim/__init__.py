@@ -16,7 +16,13 @@ from .engine import (
     Simulator,
     Timeout,
 )
-from .export import lane_order, trace_to_events, write_chrome_trace
+from .export import (
+    events_to_trace,
+    lane_order,
+    read_chrome_trace,
+    trace_to_events,
+    write_chrome_trace,
+)
 from .resources import ExclusiveResource, Machine, RateChannel, Semaphore
 from .trace import Trace, TraceInterval, merge_traces
 
@@ -34,7 +40,9 @@ __all__ = [
     "Semaphore",
     "Trace",
     "TraceInterval",
+    "events_to_trace",
     "lane_order",
+    "read_chrome_trace",
     "merge_traces",
     "trace_to_events",
     "write_chrome_trace",

@@ -136,3 +136,39 @@ def write_chrome_trace(
     }
     with open(path, "w") as handle:
         json.dump(payload, handle)
+
+
+def events_to_trace(
+    events: list[dict],
+) -> tuple[Trace, dict[str, tuple[float, float]]]:
+    """Rebuild a :class:`Trace` plus stage windows from trace events.
+
+    The inverse of :func:`trace_to_events` (timestamps return from
+    microseconds to seconds; resources come back from the ``cat``
+    field).  Events on the synthetic ``stage`` category become stage
+    windows rather than intervals, so a round-tripped export feeds
+    straight back into attribution and diffing.
+    """
+    trace = Trace()
+    stage_windows: dict[str, tuple[float, float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        start = float(event.get("ts", 0.0)) / 1e6
+        end = start + float(event.get("dur", 0.0)) / 1e6
+        if event.get("cat") == "stage":
+            stage_windows[event["name"]] = (start, end)
+            continue
+        resource = event.get("cat")
+        if not resource:
+            continue
+        amount = float((event.get("args") or {}).get("amount", 0.0))
+        trace.record(resource, event.get("name", resource), start, end, amount)
+    return trace, stage_windows
+
+
+def read_chrome_trace(path: str) -> tuple[Trace, dict[str, tuple[float, float]]]:
+    """Load a :func:`write_chrome_trace` file back into trace + stages."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return events_to_trace(payload.get("traceEvents", []))

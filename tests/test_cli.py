@@ -124,3 +124,180 @@ class TestObsReportCommand:
         assert len(payload["traceEvents"]) > 100
         prom = open(metrics_path).read()
         assert "# TYPE sweep_cache_misses_total counter" in prom
+
+
+class TestTraceRoundTrip:
+    def test_exported_trace_reads_back(self, tmp_path):
+        from repro.sim import read_chrome_trace
+
+        path = str(tmp_path / "trace.json")
+        code, _ = run_cli("trace", "13B", "8", "-o", path)
+        assert code == 0
+        trace, windows = read_chrome_trace(path)
+        assert {"forward", "backward"} <= set(windows)
+        assert "gpu0" in trace.resources()
+        assert trace.busy_time("gpu0") > 0
+
+    def test_round_trip_preserves_busy_time(self, tmp_path):
+        from repro.sim import events_to_trace
+
+        result = RatelPolicy().simulate(profile_model(llm("13B"), 8), evaluation_server())
+        events = trace_to_events(result.trace, result.stage_windows)
+        trace, windows = events_to_trace(events)
+        for resource in result.trace.resources():
+            assert trace.busy_time(resource) == pytest.approx(
+                result.trace.busy_time(resource), rel=1e-9
+            )
+        assert windows == pytest.approx(result.stage_windows)
+
+
+class TestObsReportLedger:
+    def test_ledger_flag_records_entry(self, tmp_path):
+        from repro.obs.ledger import load_ledger
+
+        path = str(tmp_path / "ledger.jsonl")
+        code, text = run_cli("obs", "report", "13B", "8", "--ledger", path)
+        assert code == 0
+        assert f"recorded to {path}" in text
+        entry = load_ledger(path).last()
+        assert entry.source == "cli"
+        assert entry.label.startswith("evaluate:Ratel/13B/b8@")
+        assert entry.config_key
+        assert entry.attribution() is not None
+
+    def test_without_flag_no_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("obs", "report", "13B", "8")
+        assert code == 0
+        assert "recorded to" not in text
+
+
+class TestObsDiffCommand:
+    def _record(self, path, batch="8"):
+        code, _ = run_cli("obs", "report", "13B", batch, "--ledger", path)
+        assert code == 0
+
+    def test_ledger_vs_ledger_unchanged(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        self._record(path)
+        code, text = run_cli("obs", "diff", path, path)
+        assert code == 0
+        assert "unchanged" in text
+
+    def test_trace_vs_trace(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        code, _ = run_cli("trace", "13B", "8", "-o", path)
+        assert code == 0
+        code, text = run_cli("obs", "diff", path, path)
+        assert code == 0
+        assert "iteration:" in text
+        assert "trace.json" in text
+
+    def test_mixed_trace_and_ledger(self, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        trace = str(tmp_path / "trace.json")
+        self._record(ledger)
+        code, _ = run_cli("trace", "13B", "8", "-o", trace)
+        assert code == 0
+        code, text = run_cli("obs", "diff", trace, ledger)
+        assert code == 0
+        assert "unchanged" in text
+
+    def test_label_filter_selects_run(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        self._record(path, "8")
+        self._record(path, "32")
+        label = None
+        from repro.obs.ledger import load_ledger
+
+        label = load_ledger(path).entries()[0].label
+        code, text = run_cli("obs", "diff", path, path, "--label", label)
+        assert code == 0
+        assert "b8@" in text and "b32@" not in text
+
+    def test_json_payload_written(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        out_path = str(tmp_path / "diff.json")
+        self._record(path)
+        code, _ = run_cli("obs", "diff", path, path, "--json", out_path)
+        assert code == 0
+        payload = json.load(open(out_path))
+        assert payload["delta_pct"] == pytest.approx(0.0)
+        assert payload["stages"]
+
+    def test_fail_on_regression(self, tmp_path):
+        from repro.obs.ledger import RunLedger, load_ledger
+
+        base = str(tmp_path / "base.jsonl")
+        slow = str(tmp_path / "slow.jsonl")
+        self._record(base)
+        entry = load_ledger(base).last()
+        entry.metrics = dict(entry.metrics)
+        attribution = json.loads(json.dumps(entry.metrics["attribution"]))
+        attribution["iteration_time"] *= 1.5
+        entry.metrics["attribution"] = attribution
+        RunLedger(slow).append(entry)
+        code, text = run_cli("obs", "diff", base, slow, "--fail-on-regression")
+        assert code == 1
+        assert "FAIL" in text
+        code, _ = run_cli(
+            "obs", "diff", base, slow, "--fail-on-regression", "--threshold-pct", "60"
+        )
+        assert code == 0
+
+    def test_missing_file_errors(self, tmp_path):
+        code, text = run_cli("obs", "diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"))
+        assert code == 2
+        assert "error" in text
+
+
+class TestObsHtmlCommand:
+    def test_writes_self_contained_report(self, tmp_path):
+        import re
+
+        path = str(tmp_path / "report.html")
+        code, text = run_cli("obs", "html", "13B", "8", "-o", path)
+        assert code == 0
+        assert f"wrote {path}" in text
+        html = open(path).read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "<script" not in html.lower()
+        urls = set(re.findall(r"https?://[^\"' <>]+", html))
+        assert urls <= {"http://www.w3.org/2000/svg"}
+
+    def test_embeds_ledger_history(self, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        path = str(tmp_path / "report.html")
+        code, _ = run_cli("obs", "report", "13B", "8", "--ledger", ledger)
+        assert code == 0
+        code, _ = run_cli("obs", "html", "13B", "8", "-o", path, "--ledger", ledger)
+        assert code == 0
+        assert "Run ledger" in open(path).read()
+
+    def test_infeasible_point_fails(self, tmp_path):
+        code, text = run_cli(
+            "obs", "html", "412B", "1", "--memory-gb", "128",
+            "-o", str(tmp_path / "r.html"),
+        )
+        assert code == 1
+        assert "does NOT fit" in text
+
+
+class TestSweepLedger:
+    def test_sweep_ledger_records_grid(self, tmp_path):
+        from repro import runner
+        from repro.obs.ledger import load_ledger
+
+        path = str(tmp_path / "ledger.jsonl")
+        try:
+            code, _ = run_cli(
+                "sweep", "--models", "13B", "--batches", "8",
+                "--systems", "ratel", "--ledger", path,
+            )
+        finally:
+            runner.reset()
+        assert code == 0
+        entries = load_ledger(path).entries()
+        assert len(entries) == 1
+        assert entries[0].source == "runner"

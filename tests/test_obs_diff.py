@@ -1,0 +1,212 @@
+"""Tests for the run-diff engine (:mod:`repro.obs.diff`).
+
+The acceptance scenario from the subsystem's design: two synthetic runs
+where run B carries an injected SSD slowdown in the backward stage must
+diff to "backward regressed because SSD busy rose; binding resource
+flipped GPU→SSD" — the same sentence the paper's Eqs. 4–5 analysis
+produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.diff import diff_attributions, diff_entries, diff_traces
+from repro.obs.ledger import LedgerEntry
+from repro.sim import Trace
+
+
+def _baseline_trace() -> tuple[Trace, dict[str, tuple[float, float]]]:
+    """GPU-bound everywhere: forward (0-2 s), backward (2-6 s)."""
+    trace = Trace()
+    trace.record("gpu0", "fwd", 0.0, 1.8, 0.0)
+    trace.record("ssd", "prefetch", 0.5, 1.5, 0.0)
+    trace.record("gpu0", "bwd", 2.0, 5.6, 0.0)
+    trace.record("ssd", "swap", 2.5, 4.5, 0.0)
+    return trace, {"forward": (0.0, 2.0), "backward": (2.0, 6.0)}
+
+
+def _slowed_trace() -> tuple[Trace, dict[str, tuple[float, float]]]:
+    """Same forward; backward stretched to 8 s by SSD saturation."""
+    trace = Trace()
+    trace.record("gpu0", "fwd", 0.0, 1.8, 0.0)
+    trace.record("ssd", "prefetch", 0.5, 1.5, 0.0)
+    trace.record("gpu0", "bwd", 2.0, 5.6, 0.0)
+    trace.record("ssd", "swap", 2.2, 7.8, 0.0)
+    return trace, {"forward": (0.0, 2.0), "backward": (2.0, 8.0)}
+
+
+@pytest.fixture(scope="module")
+def slowdown_diff():
+    trace_a, windows_a = _baseline_trace()
+    trace_b, windows_b = _slowed_trace()
+    return diff_traces(
+        trace_a, windows_a, trace_b, windows_b, label_a="before", label_b="after"
+    )
+
+
+class TestInjectedSlowdown:
+    def test_iteration_regressed(self, slowdown_diff):
+        assert slowdown_diff.iteration_a == pytest.approx(6.0)
+        assert slowdown_diff.iteration_b == pytest.approx(8.0)
+        assert slowdown_diff.regressed(10.0)
+        assert slowdown_diff.delta_pct == pytest.approx(100 * 2.0 / 6.0)
+
+    def test_names_the_correct_stage(self, slowdown_diff):
+        regressions = slowdown_diff.regressions(10.0)
+        assert [delta.stage for delta in regressions] == ["backward"]
+        assert not slowdown_diff.stage("forward").delta_s
+
+    def test_blames_the_ssd(self, slowdown_diff):
+        dominant = slowdown_diff.stage("backward").dominant()
+        assert dominant is not None
+        assert dominant.resource == "ssd"
+        assert dominant.delta_s == pytest.approx(5.6 - 2.0)
+
+    def test_binding_resource_flips_gpu_to_ssd(self, slowdown_diff):
+        backward = slowdown_diff.stage("backward")
+        assert backward.bottleneck_a == "gpu0"
+        assert backward.bottleneck_b == "ssd"
+        assert backward.binding_flipped
+
+    def test_narrative_mentions_flip_and_ssd(self, slowdown_diff):
+        text = slowdown_diff.render()
+        assert "backward" in text
+        assert "ssd busy" in text
+        assert "flipped gpu0→ssd" in text
+
+    def test_payload_is_machine_readable(self, slowdown_diff):
+        payload = slowdown_diff.to_payload()
+        assert payload["delta_pct"] == pytest.approx(100 * 2.0 / 6.0)
+        backward = payload["stages"][1]
+        assert backward["stage"] == "backward"
+        assert backward["binding_flipped"] is True
+        assert backward["dominant_resource"] == "ssd"
+        assert backward["bottleneck_a"] == "gpu0"
+        assert backward["bottleneck_b"] == "ssd"
+
+
+class TestDiffSemantics:
+    def test_identical_runs_unchanged(self):
+        trace_a, windows_a = _baseline_trace()
+        trace_b, windows_b = _baseline_trace()
+        diff = diff_traces(trace_a, windows_a, trace_b, windows_b)
+        assert not diff.regressed(10.0)
+        assert diff.regressions(10.0) == []
+        assert "unchanged" in diff.render()
+
+    def test_improvement_is_not_a_regression(self):
+        trace_a, windows_a = _slowed_trace()
+        trace_b, windows_b = _baseline_trace()
+        diff = diff_traces(trace_a, windows_a, trace_b, windows_b)
+        assert not diff.regressed(10.0)
+        assert diff.delta_s == pytest.approx(-2.0)
+        assert "improved" in diff.render()
+
+    def test_threshold_is_respected(self, slowdown_diff):
+        assert slowdown_diff.regressed(10.0)
+        assert not slowdown_diff.regressed(50.0)
+        assert slowdown_diff.regressions(50.0) == []
+
+    def test_stage_only_in_one_run(self):
+        trace_a, windows_a = _baseline_trace()
+        trace_b, windows_b = _baseline_trace()
+        windows_b = dict(windows_b)
+        windows_b["optimizer"] = (8.0, 9.0)
+        trace_b.record("cpu_adam", "step", 8.0, 9.0, 0.0)
+        diff = diff_traces(trace_a, windows_a, trace_b, windows_b)
+        optimizer = diff.stage("optimizer")
+        assert optimizer.only_in == "b"
+        # unaligned stages never count as regressions
+        assert all(d.stage != "optimizer" for d in diff.regressions(0.0))
+
+
+def _entry(label: str, report_payload, *, config_key="k", git_sha="", **metrics):
+    return LedgerEntry(
+        label=label,
+        policy="Ratel",
+        model="13B",
+        batch_size=8,
+        server="test",
+        feasible=True,
+        metrics={"attribution": report_payload, **metrics},
+        config_key=config_key,
+        git_sha=git_sha,
+    )
+
+
+class TestDiffEntries:
+    def _payloads(self):
+        from repro.obs.attribution import attribute
+
+        trace_a, windows_a = _baseline_trace()
+        trace_b, windows_b = _slowed_trace()
+        return (
+            attribute(trace_a, windows_a).to_payload(),
+            attribute(trace_b, windows_b).to_payload(),
+        )
+
+    def test_diffs_embedded_attribution(self):
+        payload_a, payload_b = self._payloads()
+        diff = diff_entries(
+            _entry("run", payload_a, tokens_per_s=100.0),
+            _entry("run", payload_b, tokens_per_s=75.0),
+        )
+        assert diff.regressed(10.0)
+        assert diff.stage("backward").binding_flipped
+        assert diff.scalars_a["tokens_per_s"] == 100.0
+        assert diff.scalars_b["tokens_per_s"] == 75.0
+
+    def test_label_includes_git_sha(self):
+        payload_a, payload_b = self._payloads()
+        diff = diff_entries(
+            _entry("run", payload_a, git_sha="a" * 40),
+            _entry("run", payload_b, git_sha="b" * 40),
+        )
+        assert diff.label_a == "run@" + "a" * 10
+        assert diff.label_b == "run@" + "b" * 10
+
+    def test_config_drift_noted(self):
+        payload_a, payload_b = self._payloads()
+        diff = diff_entries(
+            _entry("run", payload_a, config_key="old"),
+            _entry("run", payload_b, config_key="new"),
+        )
+        assert any("config keys differ" in note for note in diff.notes)
+
+    def test_label_mismatch_noted(self):
+        payload_a, payload_b = self._payloads()
+        diff = diff_entries(_entry("x", payload_a), _entry("y", payload_b))
+        assert any("labels differ" in note for note in diff.notes)
+
+    def test_missing_attribution_degrades_gracefully(self):
+        diff = diff_entries(
+            LedgerEntry(
+                label="run", policy="p", model="m", batch_size=1, server="s",
+                feasible=True, metrics={"iteration_time": 5.0},
+            ),
+            LedgerEntry(
+                label="run", policy="p", model="m", batch_size=1, server="s",
+                feasible=True, metrics={"iteration_time": 7.0},
+            ),
+        )
+        assert diff.stages == []
+        assert diff.regressed(10.0)  # falls back to scalar iteration times
+        assert any("no attribution" in note for note in diff.notes)
+
+
+class TestDiffAttributions:
+    def test_round_trip_through_payload(self):
+        from repro.obs.attribution import AttributionReport, attribute
+
+        trace_a, windows_a = _baseline_trace()
+        trace_b, windows_b = _slowed_trace()
+        report_a = AttributionReport.from_payload(
+            attribute(trace_a, windows_a).to_payload()
+        )
+        report_b = AttributionReport.from_payload(
+            attribute(trace_b, windows_b).to_payload()
+        )
+        diff = diff_attributions(report_a, report_b)
+        assert diff.stage("backward").bottleneck_b == "ssd"
+        assert diff.regressed(10.0)
