@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--systems", nargs="+", default=["ratel", "zero-infinity"],
         choices=sorted(_SYSTEMS), help="systems to compare",
     )
+    sweep.add_argument(
+        "--adapt", action="store_true",
+        help="also run each (model, batch) through the standard fault "
+        "drill under the adaptive controller (stale vs replan-once vs "
+        "adaptive postures)",
+    )
 
     experiments = sub.add_parser("experiments", help="run paper experiments")
     _runner_args(experiments)
@@ -339,6 +345,37 @@ def cmd_sweep(args, out) -> int:
                 *(o.tokens_per_s if o.feasible else float("nan") for o in row),
             )
     print(result.render(), file=out)
+    if args.adapt:
+        adapt_points = [
+            SweepPoint.adaptive(RatelPolicy(), llm(model), batch, server)
+            for model in args.models
+            for batch in args.batches
+        ]
+        adapt_outcomes = sweep.run(adapt_points)
+        points += adapt_points
+        outcomes += adapt_outcomes
+        adapt = ExperimentResult(
+            experiment="sweep-adapt",
+            title="standard fault drill: ms/token by posture (lower is better)",
+            columns=["model", "batch", "stale", "adaptive", "oracle", "swaps"],
+        )
+        for point, o in zip(adapt_points, adapt_outcomes):
+            if runner.is_failure(o) or not o.feasible:
+                adapt.add_row(
+                    point.config.name, point.batch_size,
+                    float("nan"), float("nan"), float("nan"), 0,
+                )
+                continue
+            adapt.add_row(
+                point.config.name,
+                point.batch_size,
+                o.metrics["stale_s_per_token"] * 1e3,
+                o.metrics["adaptive_s_per_token"] * 1e3,
+                o.metrics["oracle_s_per_token"] * 1e3,
+                o.metrics["plan_swaps"],
+            )
+        print(file=out)
+        print(adapt.render(), file=out)
     stats = sweep.stats
     quarantined = sum(1 for o in outcomes if runner.is_failure(o))
     line = f"{len(points)} points: {stats.hits} cache hits, {stats.misses} computed"

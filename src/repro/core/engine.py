@@ -135,17 +135,26 @@ class IterationResult:
 
 
 def run_iteration(
-    server: ServerSpec, schedule: IterationSchedule, faults: FaultSchedule | None = None
+    server: ServerSpec,
+    schedule: IterationSchedule,
+    faults: FaultSchedule | None = None,
+    health=None,
 ) -> IterationResult:
     """Simulate one iteration of ``schedule`` on ``server``.
 
     ``faults`` (a :class:`repro.faults.FaultSchedule`, duck-typed to
     keep ``core`` free of the dependency) injects timed SSD dropouts,
     bandwidth sags and latency stalls into the machine mid-iteration.
+    ``health`` (duck-typed: an ``install(machine, until=...)`` callable,
+    in practice a :class:`repro.adapt.HealthProbe`) installs a
+    mid-iteration sampler process that cooperates with the fault
+    schedule — it sees the degraded machine while the iteration runs.
     """
     machine = Machine(server, faults=faults)
     run = _IterationRun(machine, schedule)
-    machine.sim.process(run.main())
+    done = machine.sim.process(run.main())
+    if health is not None:
+        health.install(machine, until=done)
     machine.run()
     return IterationResult(
         schedule=schedule,

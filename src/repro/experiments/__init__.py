@@ -13,6 +13,7 @@ from repro.analysis.report import ExperimentResult
 
 from . import (
     ablations,
+    ext_adaptive,
     ext_resilience,
     ext_seq_len,
     fig1_breakdown,
@@ -44,6 +45,7 @@ ALL_MODULES = (
     ablations,
     ext_seq_len,
     ext_resilience,
+    ext_adaptive,
     traffic_report,
 )
 

@@ -487,6 +487,23 @@ Asserted by ``tests/test_runtime_offload.py`` / ``test_runtime_dit.py``:
 - **Traffic accounting**: the storage manager's byte counters match the
   analytic formulas (G16 = 2 B/param out, 14 B/param of optimizer state
   each way per step, checkpoint round trips).
+
+## Extensions beyond the paper (run on demand)
+
+Not regenerated here — run ``python -m repro experiments ext`` for the
+resilience and adaptation tables, or exercise the machinery directly:
+
+- ``python -m repro sweep --adapt`` adds one fault-drill point per
+  (model, batch): the standard drill (SSD dropout mid-iteration plus a
+  bandwidth sag, then recovery) under three postures — *stale* (ride the
+  healthy plan), *replan once* (the oracle) and *adaptive* (the
+  ``repro.adapt`` controller detecting drift from effective-bandwidth
+  EWMAs and replanning live) — reported as ms/token plus the
+  controller's plan-swap count.
+- ``ext_resilience`` measures between-iteration recovery postures under
+  SSD failures; ``ext_adaptive`` closes the loop online and prints the
+  controller's decision timeline (every swap with its triggering drift
+  event, as recorded in the run ledger).
 """
 
 

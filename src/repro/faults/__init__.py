@@ -27,7 +27,14 @@ and the injector draws from a seeded RNG, so a fault scenario replays
 bit-identically.
 """
 
-from .chaos import ChaosPolicy, CrashPolicy, FlakyPolicy, PoisonPolicy, SlowPolicy
+from .chaos import (
+    ChaosPolicy,
+    CrashPolicy,
+    FlakyPolicy,
+    FlakyThenSlowPolicy,
+    PoisonPolicy,
+    SlowPolicy,
+)
 from .inject import FaultInjected, FaultInjector, InjectedIOError, with_retries
 from .schedule import (
     BandwidthSag,
@@ -46,6 +53,7 @@ __all__ = [
     "FaultSchedule",
     "FaultScheduleError",
     "FlakyPolicy",
+    "FlakyThenSlowPolicy",
     "InjectedIOError",
     "LatencyStall",
     "PoisonPolicy",

@@ -132,6 +132,37 @@ class CrashPolicy(ChaosPolicy):
         os._exit(3)
 
 
+class FlakyThenSlowPolicy(ChaosPolicy):
+    """Raises on the first evaluation, then sleeps ``delay_s`` on retries.
+
+    Exercises the retry/timeout interplay: the transient failure earns a
+    retry, and the retry itself runs into the per-point timeout — so a
+    sweep with both knobs set ends with a quarantined failure whose
+    ``attempts`` counts the raise *and* the abandoned retry.  The
+    cross-process one-shot guarantee is a sentinel file, as in
+    :class:`FlakyPolicy`.
+    """
+
+    name = "FlakyThenSlow"
+
+    def __init__(self, state_dir: str, delay_s: float, tag: str = "flaky-slow") -> None:
+        if delay_s < 0:
+            raise ValueError(f"delay_s cannot be negative, got {delay_s}")
+        self.state_dir = str(state_dir)
+        self.delay_s = float(delay_s)
+        self.tag = tag
+
+    def _act(self) -> None:
+        sentinel = os.path.join(self.state_dir, f"{self.tag}.fail0")
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            time.sleep(self.delay_s)
+            return
+        os.close(fd)
+        raise FaultInjected(f"{self.name}: injected transient failure before the slow retry")
+
+
 class SlowPolicy(ChaosPolicy):
     """Sleeps ``delay_s`` before succeeding — trips per-point timeouts.
 

@@ -91,9 +91,42 @@ class FaultSchedule:
     events: tuple[FaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
+        seen: set[FaultEvent] = set()
         for event in self.events:
             if not isinstance(event, (SSDDropout, BandwidthSag, LatencyStall)):
                 raise FaultScheduleError(f"unknown fault event {event!r}")
+            if event in seen:
+                raise FaultScheduleError(
+                    f"duplicate fault event {event!r}: the same fault cannot "
+                    "be scheduled twice in one run"
+                )
+            seen.add(event)
+        self._check_window_overlaps()
+
+    def _check_window_overlaps(self) -> None:
+        """Reject same-type windowed events overlapping on one channel.
+
+        Two sags (or two stalls) sharing a channel with overlapping
+        windows would silently compound derates (or serialise stalls)
+        into a fault nobody asked for; physically distinct faults must
+        have disjoint windows.  Different event types may still overlap —
+        a sag during a stall is a meaningful scenario.
+        """
+        for kind in (BandwidthSag, LatencyStall):
+            by_resource: dict[str, list] = {}
+            for event in self.events:
+                if isinstance(event, kind):
+                    by_resource.setdefault(event.resource, []).append(event)
+            for resource, windowed in by_resource.items():
+                windowed.sort(key=lambda e: e.at)
+                for prev, nxt in zip(windowed, windowed[1:]):
+                    if nxt.at < prev.at + prev.duration:
+                        raise FaultScheduleError(
+                            f"overlapping {kind.__name__} events on "
+                            f"{resource!r}: [{prev.at}, {prev.at + prev.duration}) "
+                            f"and [{nxt.at}, {nxt.at + nxt.duration}) — their "
+                            "derates would silently compound"
+                        )
 
     def __bool__(self) -> bool:
         return bool(self.events)

@@ -172,6 +172,24 @@ class SweepPoint:
             server=server,
         )
 
+    @classmethod
+    def adaptive(
+        cls, policy: OffloadPolicy, config: Any, batch_size: int, server: ServerSpec
+    ) -> "SweepPoint":
+        """The standard fault drill under the adaptive controller.
+
+        Computes :func:`repro.adapt.drill_outcome`: all three recovery
+        postures (stale / replan-once / adaptive) through the PR-2 drill
+        on this server, folded into one :class:`EvalOutcome`.
+        """
+        return cls(
+            kind="adaptive",
+            policy=policy,
+            config=config,
+            batch_size=batch_size,
+            server=server,
+        )
+
     # -- identity --------------------------------------------------------------
 
     def key(self) -> str:
@@ -225,6 +243,16 @@ def compute_point(point: SweepPoint) -> Any:
         return max_global_batch(point.policy, point.config, point.server)
     if point.kind == "data_parallel":
         return _compute_data_parallel(point)
+    if point.kind == "adaptive":
+        # Imported lazily: repro.adapt pulls in the whole planning stack,
+        # which plain evaluate-only sweeps should not pay for.
+        from repro.adapt import drill_outcome
+
+        return drill_outcome(
+            model_name=point.config.name,
+            batch_size=point.batch_size,
+            server=point.server,
+        )
     raise SweepError(f"unknown sweep point kind {point.kind!r}")
 
 
@@ -487,13 +515,19 @@ class Sweep:
             else:
                 self._drain_pool(mode, max_workers, pending, unique, results, total, started)
 
-        logger.info(
-            "sweep: %d points, %d computed, %d cache hits in %.2fs",
+        quarantined = [value for value in results if is_failure(value)]
+        summary_args: list[Any] = [
             total,
             len(unique),
             total - sum(len(ix) for ix in pending.values()),
+            len(quarantined),
             time.perf_counter() - started,
-        )
+        ]
+        summary = "sweep: %d points, %d computed, %d cache hits, %d quarantined in %.2fs"
+        if quarantined:
+            summary += " (last failure: %s)"
+            summary_args.append(quarantined[-1])
+        logger.info(summary, *summary_args)
         return results
 
     # -- internals -------------------------------------------------------------
@@ -502,7 +536,7 @@ class Sweep:
         """Append a computed evaluation to the run ledger (never fatal)."""
         if self.ledger is None or not isinstance(self.ledger, RunLedger):
             return
-        if point.kind not in ("evaluate", "data_parallel"):
+        if point.kind not in ("evaluate", "data_parallel", "adaptive"):
             return
         if not isinstance(value, EvalOutcome):
             return

@@ -79,6 +79,10 @@ class RatelRuntime:
         #: (all variants) — the attachment point for periodic
         #: checkpointing and other end-of-step policies.
         self._step_hooks: list[Callable[["RatelRuntime"], None]] = []
+        #: Optional :class:`repro.adapt.RuntimeHealth` (duck-typed:
+        #: ``clock()`` and ``on_step(runtime, dt)``).  ``None`` keeps the
+        #: step path free of timing calls.
+        self._health = None
 
         target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
         for index, block in enumerate(target_blocks):
@@ -133,14 +137,37 @@ class RatelRuntime:
         for hook in self._step_hooks:
             hook(self)
 
+    def attach_health(self, health) -> None:
+        """Install a health monitor on the step path (``None`` detaches).
+
+        ``health`` is duck-typed — ``clock()`` plus
+        ``on_step(runtime, dt)`` — in practice a
+        :class:`repro.adapt.RuntimeHealth`, whose ladder may mutate
+        :attr:`checkpoint_tier` and :attr:`active_offload` live.
+        """
+        if health is not None and not callable(getattr(health, "on_step", None)):
+            raise TypeError(f"health must define on_step(runtime, dt), got {health!r}")
+        self._health = health
+
     def train_step(self, loss_fn: Callable[[], Tensor]) -> float:
         """Run one iteration: forward + backward (+ optimizer, per mode).
 
         ``loss_fn`` builds the loss tensor (it closes over the batch);
         returns the scalar loss value.  Under an active
         :func:`repro.obs.observe` block the step is recorded as spans
-        (one ``rt_step`` slice, forward/backward stage windows).
+        (one ``rt_step`` slice, forward/backward stage windows).  An
+        attached health monitor sees the measured duration after every
+        step.
         """
+        health = self._health
+        if health is None:
+            return self._train_step_inner(loss_fn)
+        start = health.clock()
+        loss = self._train_step_inner(loss_fn)
+        health.on_step(self, health.clock() - start)
+        return loss
+
+    def _train_step_inner(self, loss_fn: Callable[[], Tensor]) -> float:
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
@@ -334,9 +361,11 @@ class RatelRuntime:
 
     def _attach_handler(self, name: str, param: Tensor) -> None:
         def handler(tensor: Tensor) -> None:
-            if tensor.grad is None or self._suppress_handlers:
-                # Gradient-accumulation micro-batches: leave the gradient
-                # in place; the final micro-batch consumes the sum.
+            if tensor.grad is None or self._suppress_handlers or not self.active_offload:
+                # Gradient-accumulation micro-batches leave the gradient
+                # in place for the final micro-batch to consume; a live
+                # flip to the synchronous-optimizer rung leaves it for
+                # the deferred pass in ``_finish_step``.
                 return
             self._consume_gradient(name, tensor)
 

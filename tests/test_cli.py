@@ -301,3 +301,22 @@ class TestSweepLedger:
         entries = load_ledger(path).entries()
         assert len(entries) == 1
         assert entries[0].source == "runner"
+
+
+class TestSweepAdapt:
+    def test_adapt_flag_appends_drill_table(self):
+        from repro import runner
+
+        try:
+            code, text = run_cli(
+                "sweep", "--models", "135B", "--batches", "40",
+                "--ssds", "6", "--systems", "ratel", "--adapt",
+            )
+        finally:
+            runner.reset()
+        assert code == 0
+        assert "sweep-adapt" in text
+        # One posture column each for the frozen plan, the controller,
+        # and the omniscient replanner — plus the swap count.
+        for column in ("stale", "adaptive", "oracle", "swaps"):
+            assert column in text

@@ -12,6 +12,7 @@ Covers the three substrates the faults package plugs into:
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -20,9 +21,11 @@ from repro.core import RatelPolicy
 from repro.core.engine import run_iteration
 from repro.faults import (
     BandwidthSag,
+    FaultInjected,
     FaultInjector,
     FaultSchedule,
     FaultScheduleError,
+    FlakyThenSlowPolicy,
     InjectedIOError,
     LatencyStall,
     SSDDropout,
@@ -67,6 +70,91 @@ class TestScheduleValidation:
     def test_schedule_truthiness(self):
         assert not FaultSchedule(())
         assert FaultSchedule((SSDDropout(at=1.0),))
+
+
+class TestScheduleComposition:
+    """A schedule is a *set* of physically distinct faults — duplicates
+    and same-channel window overlaps are authoring errors, not scenarios."""
+
+    def test_duplicate_event_rejected(self):
+        event = SSDDropout(at=5.0, count=2)
+        with pytest.raises(FaultScheduleError, match="duplicate"):
+            FaultSchedule((event, event))
+
+    def test_duplicate_by_value_rejected(self):
+        # Frozen dataclasses compare by value: two separately constructed
+        # but identical events are still the same fault scheduled twice.
+        with pytest.raises(FaultScheduleError, match="duplicate"):
+            FaultSchedule(
+                (
+                    BandwidthSag(at=1.0, duration=2.0, factor=0.5),
+                    BandwidthSag(at=1.0, duration=2.0, factor=0.5),
+                )
+            )
+
+    def test_overlapping_sags_on_one_channel_rejected(self):
+        with pytest.raises(FaultScheduleError, match="overlapping"):
+            FaultSchedule(
+                (
+                    BandwidthSag(at=0.0, duration=10.0, factor=0.5),
+                    BandwidthSag(at=5.0, duration=10.0, factor=0.25),
+                )
+            )
+
+    def test_overlapping_stalls_on_one_channel_rejected(self):
+        with pytest.raises(FaultScheduleError, match="overlapping"):
+            FaultSchedule(
+                (
+                    LatencyStall(at=2.0, duration=3.0),
+                    LatencyStall(at=4.0, duration=1.0),
+                )
+            )
+
+    def test_back_to_back_windows_are_not_an_overlap(self):
+        # [0, 5) then [5, 8): the first window has ended when the second
+        # begins, so the derates never compound.
+        assert FaultSchedule(
+            (
+                BandwidthSag(at=0.0, duration=5.0, factor=0.5),
+                BandwidthSag(at=5.0, duration=3.0, factor=0.5),
+            )
+        )
+
+    def test_different_event_types_may_overlap(self):
+        # A sag during a stall is a meaningful compound scenario.
+        assert FaultSchedule(
+            (
+                BandwidthSag(at=0.0, duration=10.0, factor=0.5),
+                LatencyStall(at=5.0, duration=2.0),
+            )
+        )
+
+    def test_same_type_on_different_channels_may_overlap(self):
+        assert FaultSchedule(
+            (
+                BandwidthSag(at=0.0, duration=10.0, factor=0.5, resource="ssd"),
+                BandwidthSag(at=5.0, duration=10.0, factor=0.5, resource="host"),
+            )
+        )
+
+
+class TestFlakyThenSlowPolicy:
+    """The retry/timeout chaos probe: raise once, then dawdle forever."""
+
+    def test_first_attempt_raises_then_retries_sleep(self, tmp_path):
+        policy = FlakyThenSlowPolicy(str(tmp_path), delay_s=0.05)
+        profile = profile_model(llm("13B"), 8)
+        server = evaluation_server()
+        with pytest.raises(FaultInjected):
+            policy.evaluate(profile, server)
+        started = time.perf_counter()
+        outcome = policy.evaluate(profile, server)
+        assert time.perf_counter() - started >= 0.05
+        assert not outcome.feasible  # chaos policies never really train
+
+    def test_rejects_negative_delay(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlakyThenSlowPolicy(str(tmp_path), delay_s=-1.0)
 
 
 @pytest.fixture(scope="module")

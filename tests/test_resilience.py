@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines import ZeroInfinityPolicy
 from repro.core import (
@@ -136,3 +137,47 @@ class TestExtResilienceExperiment:
     def test_renders(self, results):
         for result in results:
             assert "ext_resilience" in result.render()
+
+
+class TestResilienceProperties:
+    """Algebraic invariants of the degradation/replan pipeline.
+
+    These hold for *any* failure pattern, so they are stated as
+    hypothesis properties rather than example tables.
+    """
+
+    @given(a=st.integers(min_value=0, max_value=8), b=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_degradation_composes(self, a, b):
+        # Losing a drives then b more is the same machine as losing
+        # a + b at once — degradation is a monoid action on the server.
+        server = evaluation_server().with_ssds(6)
+        assert degraded_server(degraded_server(server, a), b) == degraded_server(
+            server, a + b
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_degradation_is_monotone(self, losses):
+        # Drive counts only ever shrink along a failure sequence, and
+        # never go negative no matter how over-subscribed the losses are.
+        server = evaluation_server().with_ssds(6)
+        counts = [server.n_ssds]
+        for n in losses:
+            server = degraded_server(server, n)
+            counts.append(server.n_ssds)
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] >= 0
+
+    def test_replan_with_zero_failures_is_a_no_op(self):
+        # n_failed=0 must reproduce the healthy evaluation exactly: same
+        # plan, same feasibility, bit-identical simulated metrics.
+        server = evaluation_server().with_ssds(6)
+        profile = profile_model(llm("135B"), 40)
+        policy = RatelPolicy()
+        report = replan_on_failure(policy, profile, server, 0)
+        healthy = policy.evaluate(profile, server)
+        assert report.server == server
+        assert report.outcome.feasible == healthy.feasible
+        assert report.outcome.plan == healthy.plan
+        assert report.outcome.metrics == healthy.metrics

@@ -13,6 +13,7 @@ from repro.faults import (
     CrashPolicy,
     FaultInjected,
     FlakyPolicy,
+    FlakyThenSlowPolicy,
     PoisonPolicy,
     SlowPolicy,
 )
@@ -414,3 +415,63 @@ class TestDeprecatedShims:
             best = best_throughput(RatelPolicy(), CONFIG, SERVER, (8, 16))
         assert best is not None
         assert best[0] in (8, 16)
+
+
+class TestSummaryLine:
+    """Every ``run()`` ends with one INFO line a human can grep for."""
+
+    def test_clean_run_logs_counts(self, caplog):
+        sweep = Sweep()
+        with caplog.at_level("INFO", logger="repro.runner"):
+            sweep.run(grid(batches=(8,)))
+        [line] = [
+            r.getMessage() for r in caplog.records if r.getMessage().startswith("sweep:")
+        ]
+        assert "2 points, 2 computed, 0 cache hits, 0 quarantined" in line
+        assert "last failure" not in line
+
+    def test_quarantined_run_names_the_last_failure(self, caplog):
+        sweep = Sweep(retries=0, on_error="quarantine")
+        points = [
+            SweepPoint.evaluate(RatelPolicy(), CONFIG, 8, SERVER),
+            SweepPoint.evaluate(PoisonPolicy(), CONFIG, 8, SERVER),
+        ]
+        with caplog.at_level("INFO", logger="repro.runner"):
+            sweep.run(points)
+        [line] = [
+            r.getMessage() for r in caplog.records if r.getMessage().startswith("sweep:")
+        ]
+        assert "1 quarantined" in line
+        assert "last failure" in line
+        assert "FaultInjected" in line
+
+    def test_cache_hits_counted(self, caplog, tmp_path):
+        sweep = Sweep(cache_dir=str(tmp_path))
+        points = grid(batches=(8,))
+        sweep.run(points)
+        with caplog.at_level("INFO", logger="repro.runner"):
+            sweep.run(points)
+        [line] = [
+            r.getMessage() for r in caplog.records if r.getMessage().startswith("sweep:")
+        ]
+        assert "0 computed, 2 cache hits" in line
+
+
+class TestRetryThenTimeout:
+    def test_transient_failure_then_slow_retry_quarantines(self, tmp_path):
+        """A point whose retry hangs burns both its attempts: the first
+        raises (earning the retry), the retry hits the per-point timeout."""
+        sweep = Sweep(
+            executor="process",
+            max_workers=2,
+            retries=1,
+            retry_backoff_s=0.01,
+            timeout=0.5,
+            on_error="quarantine",
+        )
+        policy = FlakyThenSlowPolicy(str(tmp_path), delay_s=2.0)
+        [failure] = sweep.run([SweepPoint.evaluate(policy, CONFIG, 8, SERVER)])
+        assert is_failure(failure)
+        assert failure.attempts == 2
+        assert failure.timed_out
+        assert "timeout" in failure.message
