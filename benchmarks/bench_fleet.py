@@ -1,0 +1,133 @@
+"""Bench: the fleet scheduler drill and the scheduling engine's overhead.
+
+Two numbers land in ``benchmarks/results/BENCH_fleet.json``:
+
+* **drill scores** — the standard bursty trace (40 jobs, 4 nodes,
+  mid-trace 4090 degradation) under FIFO and SJF, with the headline
+  fleet metrics (makespan, P99/P50 latency, utilization, requeues) per
+  scheduler.  These are *simulated* seconds — deterministic, so any
+  change is a real behavior change; the diff gate reads them through the
+  ``BENCH_fleet.json:*`` allowlist entry because retuning the trace or a
+  scheduler default legitimately moves them.
+* **engine overhead** — wall-clock to schedule a 400-job trace against
+  a stub oracle (no simulation in the loop), i.e. the cost of the event
+  loop + scheduler decisions themselves.  Bar: the whole schedule in
+  well under simulated real time.
+
+Runs under the ``bench_smoke`` marker; the drill asserts the two
+acceptance properties (SJF beats FIFO on P99; the degradation forces at
+least one migration/requeue) so CI's fleet-smoke job fails loudly if a
+scheduler change regresses them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet import Fleet, bursty_trace, run_bursty_drill, standard_fleet_nodes
+
+from conftest import write_bench_json
+
+#: Generous bar for scheduling 400 jobs with a stub oracle (seconds).
+MAX_ENGINE_WALL_S = 5.0
+
+_DRILL_KEYS = (
+    "makespan_s",
+    "p99_latency_s",
+    "p50_latency_s",
+    "mean_wait_s",
+    "utilization",
+    "migrations",
+    "requeues",
+    "preemptions",
+    "completed",
+    "rejected",
+)
+
+
+class _StubOracle:
+    """Constant-time cost answers: benches the engine, not the simulator."""
+
+    _SPEED = {"box-3090": 2.5, "box-4080": 1.8, "box-4090": 1.0, "dgx-a100": 0.4}
+    _BASE = {"30B": 30.0, "13B": 8.0, "6B": 2.0}
+
+    def feasible(self, spec, node):
+        if spec.hardware_class is not None:
+            return spec.hardware_class == node.hardware_class
+        return True
+
+    def iteration_time(self, spec, node):
+        sag = 3.0 if (node.failed_ssds or node.bw_sag < 1.0) else 1.0
+        return self._BASE.get(spec.model, 5.0) * self._SPEED.get(node.name, 1.0) * sag
+
+    def service_time(self, spec, node, iterations):
+        return iterations * self.iteration_time(spec, node)
+
+    def needs(self, spec, node):
+        return None
+
+
+@pytest.mark.bench_smoke
+def test_bursty_drill_scores_fifo_vs_sjf():
+    started = time.perf_counter()
+    outcomes = {
+        name: run_bursty_drill(name, degrade=True) for name in ("fifo", "sjf")
+    }
+    wall = time.perf_counter() - started
+
+    payload = {
+        "jobs": outcomes["fifo"].metrics["jobs"],
+        "nodes": outcomes["fifo"].n_nodes,
+        "drill_wall_s": wall,
+    }
+    for name, outcome in outcomes.items():
+        payload[name] = {key: outcome.metrics[key] for key in _DRILL_KEYS}
+    write_bench_json("fleet", payload)
+
+    fifo_p99 = outcomes["fifo"].metrics["p99_latency_s"]
+    sjf_p99 = outcomes["sjf"].metrics["p99_latency_s"]
+    print(
+        f"\nfleet drill: P99 fifo {fifo_p99:.0f} s vs sjf {sjf_p99:.0f} s "
+        f"({fifo_p99 / sjf_p99:.1f}x), "
+        f"requeues fifo={outcomes['fifo'].metrics['requeues']} "
+        f"sjf={outcomes['sjf'].metrics['requeues']} ({wall:.1f} s wall)"
+    )
+
+    assert sjf_p99 < fifo_p99, (
+        f"oracle-guided SJF should beat FIFO on P99 latency "
+        f"(sjf {sjf_p99:.0f} s vs fifo {fifo_p99:.0f} s)"
+    )
+    for name, outcome in outcomes.items():
+        moved = outcome.metrics["migrations"] + outcome.metrics["requeues"]
+        assert moved >= 1, f"{name}: degradation should force a migration/requeue"
+
+
+@pytest.mark.bench_smoke
+def test_engine_overhead_scales_to_hundreds_of_jobs():
+    n_jobs = 400
+    specs = bursty_trace(n_jobs, seed=11)
+    started = time.perf_counter()
+    fleet = Fleet(standard_fleet_nodes(), "sjf", oracle=_StubOracle())
+    for spec in specs:
+        fleet.submit(spec)
+    outcome = fleet.drain()
+    wall = time.perf_counter() - started
+
+    assert outcome.metrics["completed"] + outcome.metrics["rejected"] == n_jobs
+    write_bench_json(
+        "fleet",
+        {
+            "engine": {
+                "jobs": n_jobs,
+                "engine_wall_s": wall,
+                "jobs_per_s": n_jobs / wall if wall > 0 else float("inf"),
+            }
+        },
+    )
+    print(f"\nfleet engine: {n_jobs} jobs scheduled in {wall:.2f} s wall")
+    assert wall < MAX_ENGINE_WALL_S, (
+        f"scheduling {n_jobs} stub jobs took {wall:.2f} s "
+        f"(bar {MAX_ENGINE_WALL_S:.0f} s)"
+    )

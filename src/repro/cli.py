@@ -9,6 +9,9 @@ Commands:
   style) for one server configuration.
 * ``sweep``       — evaluate a (system x model x batch) grid through the
   :mod:`repro.runner` orchestrator and print the tokens/s table.
+* ``fleet``       — schedule a bursty trace of concurrent fine-tuning
+  jobs across a heterogeneous simulated cluster (``repro.fleet``) and
+  print the makespan / latency / utilization summary.
 * ``experiments`` — run the paper's experiment harnesses by id
   (``fig1`` ... ``fig13``, or ``all``) and print the tables.
 * ``trace``       — export one simulated Ratel iteration as a
@@ -23,12 +26,14 @@ Commands:
   timeline, per-stage utilization bars, planned-vs-actual, ledger
   history.  Opens standalone — no network, no CDN, no JavaScript.
 
-Every evaluation routes through the shared :class:`repro.runner.Sweep`;
-``--jobs`` fans grid points across a process pool, ``--cache-dir``
-persists results (conventionally ``.repro_cache/``) so re-runs are
-served from disk, and ``--ledger`` appends every computed evaluation to
-an append-only JSONL run ledger (default
-``benchmarks/results/ledger.jsonl``) for longitudinal diffing.
+Every evaluation routes through the shared :class:`repro.runner.Sweep`.
+The execution knobs — ``--jobs`` (process-pool fan-out), ``--cache-dir``
+(on-disk result reuse), ``--retries``/``--timeout`` (quarantine mode),
+``--ledger`` (append-only JSONL run history) and ``--adapt`` (the
+command's degradation drill) — are declared once in
+:func:`repro.runner.options.run_options_parent` and inherited by
+``sweep``, ``fleet``, ``experiments`` and ``obs report``, then read
+through :class:`repro.runner.RunOptions`.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import sys
 
 from repro import runner
 from repro.analysis.report import ExperimentResult
+from repro.fleet import SCHEDULERS
 from repro.baselines import (
     ColossalAIPolicy,
     FlashNeuronPolicy,
@@ -53,7 +59,7 @@ from repro.obs.attribution import attribute
 from repro.obs.diff import diff_attributions, diff_entries
 from repro.obs.html import write_run_report
 from repro.obs.ledger import DEFAULT_LEDGER_PATH, LedgerError, RunLedger, load_ledger
-from repro.runner import SweepPoint
+from repro.runner import RunOptions, SweepPoint, run_options_parent
 from repro.sim import events_to_trace, write_chrome_trace
 
 _GPUS = {"4090": RTX_4090, "3090": RTX_3090, "4080": RTX_4080}
@@ -87,9 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     _server_args(maxsize)
     maxsize.add_argument("--batch", type=int, default=1)
 
-    sweep = sub.add_parser("sweep", help="evaluate a grid through the runner")
+    sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a grid through the runner",
+        parents=[
+            run_options_parent(
+                adapt_help="also run each (model, batch) through the standard "
+                "fault drill under the adaptive controller (stale vs "
+                "replan-once vs adaptive postures)"
+            )
+        ],
+    )
     _server_args(sweep)
-    _runner_args(sweep)
     sweep.add_argument(
         "--models", nargs="+", default=["13B"],
         choices=sorted(LLM_PRESETS), help="Table IV models to sweep",
@@ -101,15 +116,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--systems", nargs="+", default=["ratel", "zero-infinity"],
         choices=sorted(_SYSTEMS), help="systems to compare",
     )
-    sweep.add_argument(
-        "--adapt", action="store_true",
-        help="also run each (model, batch) through the standard fault "
-        "drill under the adaptive controller (stale vs replan-once vs "
-        "adaptive postures)",
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="schedule a bursty fine-tuning trace across simulated servers",
+        parents=[
+            run_options_parent(
+                adapt_help="inject the standard mid-trace node fault (drive "
+                "loss + bandwidth sag on the 4090 box) and exercise the "
+                "drift-to-rescheduling escalation path"
+            )
+        ],
+    )
+    fleet.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="sjf",
+        help="fleet scheduling policy (default: sjf)",
+    )
+    fleet.add_argument(
+        "--arrivals", type=int, default=24, metavar="N",
+        help="number of jobs in the bursty arrival trace (default: 24)",
+    )
+    fleet.add_argument("--seed", type=int, default=7, help="trace RNG seed")
+    fleet.add_argument(
+        "--show-events", type=int, default=12, metavar="N",
+        help="print the last N fleet events (default: 12; 0 = none)",
     )
 
-    experiments = sub.add_parser("experiments", help="run paper experiments")
-    _runner_args(experiments)
+    experiments = sub.add_parser(
+        "experiments",
+        help="run paper experiments",
+        parents=[run_options_parent()],
+    )
     experiments.add_argument(
         "ids", nargs="*", default=["all"],
         help="experiment ids (fig1, fig2, fig5-fig13) or 'all'",
@@ -128,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser("obs", help="observability: attribution, metrics")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
-        "report", help="per-stage busy/stall/idle bottleneck attribution"
+        "report",
+        help="per-stage busy/stall/idle bottleneck attribution",
+        parents=[run_options_parent()],
     )
     _server_args(obs_report)
     obs_report.add_argument("model", choices=sorted(LLM_PRESETS), help="Table IV model")
@@ -145,7 +184,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH", default=None,
         help="write the evaluation's sweep metrics as Prometheus text",
     )
-    _ledger_arg(obs_report)
 
     obs_diff = obs_sub.add_parser(
         "diff",
@@ -209,59 +247,6 @@ def _server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ssds", type=int, default=12)
 
 
-def _runner_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="fan grid points across N worker processes (default: serial)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persist results under DIR (e.g. .repro_cache/) and reuse on re-runs",
-    )
-    parser.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="retry a failing point N times (with backoff), then quarantine it "
-        "instead of aborting the sweep",
-    )
-    parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-point wall-clock budget; points past it are quarantined "
-        "(needs --jobs: only pool workers can be abandoned)",
-    )
-    _ledger_arg(parser)
-
-
-def _configure_runner(args) -> None:
-    """Point the shared default sweep at the requested executor/cache.
-
-    Passing ``--retries`` or ``--timeout`` also switches the sweep to
-    quarantine mode: one bad point yields a structured failure in its
-    result slot instead of killing the whole run.
-    """
-    jobs = getattr(args, "jobs", None)
-    cache_dir = getattr(args, "cache_dir", None)
-    retries = getattr(args, "retries", None)
-    timeout = getattr(args, "timeout", None)
-    ledger = getattr(args, "ledger", None)
-    if (
-        jobs is None
-        and cache_dir is None
-        and retries is None
-        and timeout is None
-        and ledger is None
-    ):
-        return
-    runner.configure(
-        executor="process" if jobs else "serial",
-        max_workers=jobs,
-        cache_dir=cache_dir,
-        retries=retries or 0,
-        timeout=timeout,
-        on_error="quarantine" if (retries is not None or timeout is not None) else "raise",
-        ledger=ledger,
-    )
-
-
 def _server_from(args) -> "ServerSpec":  # noqa: F821
     return evaluation_server(
         gpu=_GPUS[args.gpu],
@@ -318,7 +303,7 @@ def cmd_maxsize(args, out) -> int:
 
 
 def cmd_sweep(args, out) -> int:
-    _configure_runner(args)
+    RunOptions.from_args(args).apply()
     server = _server_from(args)
     policies = [_SYSTEMS[name]() for name in args.systems]
     points = [
@@ -389,10 +374,54 @@ def cmd_sweep(args, out) -> int:
     return 0
 
 
+def cmd_fleet(args, out) -> int:
+    from repro.fleet import run_bursty_drill
+
+    opts = RunOptions.from_args(args)
+    opts.apply()
+    outcome = run_bursty_drill(
+        args.scheduler,
+        n_jobs=args.arrivals,
+        seed=args.seed,
+        ledger=opts.ledger,
+        degrade=opts.adapt,
+    )
+    metrics = outcome.metrics
+    print(
+        f"fleet: {outcome.scheduler} over {metrics['jobs']} jobs on "
+        f"{outcome.n_nodes} nodes "
+        f"({metrics['completed']} completed, {metrics['rejected']} rejected)",
+        file=out,
+    )
+    print(
+        f"  makespan {metrics['makespan_s']:.0f} s | "
+        f"P99 latency {metrics['p99_latency_s']:.0f} s | "
+        f"P50 {metrics['p50_latency_s']:.0f} s | "
+        f"utilization {metrics['utilization']:.0%}",
+        file=out,
+    )
+    print(
+        f"  preemptions={metrics['preemptions']} migrations={metrics['migrations']} "
+        f"requeues={metrics['requeues']} degradations={metrics['degradations']}",
+        file=out,
+    )
+    if metrics["deadlines_total"]:
+        print(
+            f"  deadlines met: {metrics['deadlines_met']}/{metrics['deadlines_total']}",
+            file=out,
+        )
+    if args.show_events:
+        for event in outcome.events[-args.show_events :]:
+            print(f"  {event}", file=out)
+    if opts.ledger:
+        print(f"recorded fleet decisions to {opts.ledger}", file=out)
+    return 0
+
+
 def cmd_experiments(args, out) -> int:
     from repro import experiments as exp
 
-    _configure_runner(args)
+    RunOptions.from_args(args).apply()
     ids = set(args.ids)
     run_all = "all" in ids
     ran = 0
@@ -446,6 +475,9 @@ def cmd_obs(args, out) -> int:
 
 
 def cmd_obs_report(args, out) -> int:
+    # The handler records to --ledger itself (below, cache hits included),
+    # so the runner must not also auto-append the evaluation.
+    RunOptions.from_args(args).apply(attach_ledger=False)
     server = _server_from(args)
     policy = _SYSTEMS[args.system]()
     sweep = runner.default_sweep()
@@ -585,6 +617,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "plan": cmd_plan,
         "maxsize": cmd_maxsize,
         "sweep": cmd_sweep,
+        "fleet": cmd_fleet,
         "experiments": cmd_experiments,
         "report": cmd_report,
         "trace": cmd_trace,

@@ -14,6 +14,7 @@ from repro.analysis.report import ExperimentResult
 from . import (
     ablations,
     ext_adaptive,
+    ext_fleet,
     ext_resilience,
     ext_seq_len,
     fig1_breakdown,
@@ -46,6 +47,7 @@ ALL_MODULES = (
     ext_seq_len,
     ext_resilience,
     ext_adaptive,
+    ext_fleet,
     traffic_report,
 )
 

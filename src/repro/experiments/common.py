@@ -7,14 +7,14 @@ points across figures (the 13B/batch-32 point appears in Figs. 1, 5 and
 the traffic report, for instance) are planned and simulated once — and
 from the parallel fan-out / disk cache the CLI can configure.
 
-``throughput_tokens_per_s`` and ``best_throughput`` predate
-:meth:`OffloadPolicy.evaluate` and are kept as thin deprecated shims.
+The pre-``evaluate()`` shims (``throughput_tokens_per_s``,
+``best_throughput``) were removed after a deprecation cycle; use
+:func:`evaluate_point` / :func:`best_feasible`.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 
 from repro.core.evaluation import EvalOutcome
 from repro.core.policy import OffloadPolicy
@@ -34,14 +34,14 @@ def attach_ledger(path_or_ledger: str | RunLedger) -> RunLedger:
     the CLI's ``--ledger`` flag on ``sweep``/``experiments``/``report``
     routes through this.  Returns the attached
     :class:`~repro.obs.ledger.RunLedger`.
+
+    Delegates to :func:`repro.session.attach_ledger` — use
+    :class:`repro.session.Session` when the attachment should be scoped
+    and restored.
     """
-    ledger = (
-        path_or_ledger
-        if isinstance(path_or_ledger, RunLedger)
-        else RunLedger(path_or_ledger)
-    )
-    default_sweep().ledger = ledger
-    return ledger
+    from repro.session import attach_ledger as _attach
+
+    return _attach(path_or_ledger)
 
 
 def evaluate_point(
@@ -99,44 +99,3 @@ def best_feasible(
 def is_failed(value: float) -> bool:
     """True for the NaN failure marker."""
     return isinstance(value, float) and math.isnan(value)
-
-
-# -- deprecated shims ----------------------------------------------------------
-
-
-def throughput_tokens_per_s(
-    policy: OffloadPolicy, config, batch_size: int, server: ServerSpec
-) -> float:
-    """Tokens/s for one configuration, or NaN when it does not fit.
-
-    .. deprecated:: use :func:`evaluate_point` (or
-       :meth:`OffloadPolicy.evaluate`) and read ``tokens_per_s`` off the
-       outcome.
-    """
-    warnings.warn(
-        "throughput_tokens_per_s is deprecated; use evaluate_point(...).tokens_per_s",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    outcome = evaluate_point(policy, config, batch_size, server)
-    return outcome.tokens_per_s if outcome.feasible else FAILED
-
-
-def best_throughput(
-    policy: OffloadPolicy,
-    config,
-    server: ServerSpec,
-    batch_candidates: tuple[int, ...],
-):
-    """Best feasible (batch, outcome) over the candidates, or None.
-
-    .. deprecated:: use :func:`best_feasible` (same contract; the second
-       element is an :class:`EvalOutcome` rather than an
-       ``IterationResult``, with the same metric attributes).
-    """
-    warnings.warn(
-        "best_throughput is deprecated; use best_feasible",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return best_feasible(policy, config, server, batch_candidates)

@@ -1,0 +1,524 @@
+"""The fleet itself: a discrete-event loop over jobs, nodes and drift.
+
+:class:`Fleet` is the client object the ISSUE's API names:
+``submit`` enqueues a :class:`~repro.fleet.api.JobSpec`, ``run_until``
+advances the fleet clock, ``drain`` runs the trace to completion and
+returns a :class:`FleetOutcome` (per-job results, the event timeline,
+and the makespan / P99-latency / utilization scorecard).
+
+The loop is event-driven at *job* granularity: arrivals, completions
+and degradations are heap events; between events the active
+:class:`~repro.fleet.schedulers.Scheduler` dispatches queued jobs onto
+free nodes, costed through the :class:`~repro.fleet.oracle.CostOracle`.
+Iteration-level detail stays inside :meth:`OffloadPolicy.evaluate` —
+the fleet trusts Algorithm 1's per-iteration time and multiplies by the
+job's iteration budget, which is exactly the cost-model-as-scheduler
+premise the ISSUE draws from GreedySnake.
+
+**Drift escalation.**  A degradation (``inject``) flows node-first:
+the node's :class:`~repro.adapt.health.HealthMonitor` observes the new
+array state and raises typed drift events; the fleet then re-prices the
+running job on the degraded spec and either lets it continue (re-timed),
+or — past ``migrate_threshold`` or outright infeasibility — preempts
+and requeues it so the scheduler can migrate it to a healthy node.
+Every decision lands in the run ledger as a ``kind="fleet"`` entry, so
+``repro obs diff``/``html`` cover scheduling runs the same way they
+cover evaluations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.ledger import LedgerEntry, RunLedger
+
+from .api import FleetError, FleetEvent, JobResult, JobSpec, percentile
+from .node import Node
+from .oracle import CostOracle
+from .schedulers import Scheduler, make_scheduler
+
+logger = logging.getLogger("repro.fleet")
+
+
+@dataclass
+class JobState:
+    """Mutable per-job bookkeeping (the immutable identity stays in ``spec``)."""
+
+    spec: JobSpec
+    seq: int
+    submitted_at: float
+    remaining_iterations: int
+    node: str | None = None
+    started_at: float | None = None
+    first_started_at: float | None = None
+    iter_time: float = math.nan
+    #: Bumped on every (re)dispatch and preemption; stale completion
+    #: events carry an older version and are ignored.
+    version: int = 0
+    preemptions: int = 0
+    migrations: int = 0
+    nodes_visited: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FleetOutcome:
+    """Everything a drained fleet run produced."""
+
+    scheduler: str
+    results: list[JobResult]
+    events: list[FleetEvent]
+    makespan: float
+    n_nodes: int
+    metrics: dict[str, Any]
+
+    @property
+    def completed(self) -> list[JobResult]:
+        return [r for r in self.results if r.completed]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "n_nodes": self.n_nodes,
+            "makespan": self.makespan,
+            "metrics": self.metrics,
+            "results": [r.to_payload() for r in self.results],
+            "events": [e.to_payload() for e in self.events],
+        }
+
+
+class Fleet:
+    """A heterogeneous cluster under one scheduling policy.
+
+    ``scheduler`` is a registry name (``fifo``/``sjf``/``priority``/
+    ``binpack``) or a :class:`Scheduler` instance; ``oracle`` defaults
+    to the shared-sweep :class:`CostOracle` (tests substitute stubs);
+    ``ledger`` (path or :class:`RunLedger`) records every fleet decision
+    as a ``kind="fleet"`` entry; ``migrate_threshold`` is the degraded/
+    healthy iteration-time ratio past which a running job is requeued
+    off a degraded node instead of riding it out.
+    """
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        scheduler: str | Scheduler = "sjf",
+        *,
+        oracle: CostOracle | None = None,
+        ledger: str | RunLedger | None = None,
+        migrate_threshold: float = 1.3,
+    ) -> None:
+        if not nodes:
+            raise FleetError("a fleet needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise FleetError(f"node names must be unique, got {names}")
+        if migrate_threshold <= 1:
+            raise FleetError(
+                f"migrate_threshold must exceed 1, got {migrate_threshold}"
+            )
+        self.nodes = list(nodes)
+        self._by_name = {node.name: node for node in nodes}
+        self.scheduler = make_scheduler(scheduler)
+        self.oracle = oracle if oracle is not None else CostOracle()
+        self.ledger = RunLedger(ledger) if isinstance(ledger, str) else ledger
+        self.migrate_threshold = migrate_threshold
+        self.now = 0.0
+        self.events: list[FleetEvent] = []
+        self._jobs: dict[str, JobState] = {}
+        self._queue: list[JobState] = []
+        self._results: dict[str, JobResult] = {}
+        self._order: list[str] = []  # job_ids in submit order
+        self._heap: list[tuple[float, int, str, Any]] = []
+        self._heap_seq = 0
+        self._job_seq = 0
+
+    # -- client surface --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Enqueue one job; arrival fires at ``spec.submit_at`` (or now)."""
+        if spec.job_id in self._jobs:
+            raise FleetError(f"duplicate job_id {spec.job_id!r}")
+        state = JobState(
+            spec=spec,
+            seq=self._job_seq,
+            submitted_at=max(self.now, spec.submit_at),
+            remaining_iterations=spec.iterations,
+        )
+        self._job_seq += 1
+        self._jobs[spec.job_id] = state
+        self._order.append(spec.job_id)
+        self._push(state.submitted_at, "arrive", spec.job_id)
+        return spec.job_id
+
+    def inject(
+        self,
+        at: float,
+        node: str,
+        *,
+        failed_ssds: int | None = None,
+        bw_sag: float | None = None,
+        restore: bool = False,
+    ) -> None:
+        """Schedule a degradation (or restore) on one node."""
+        if node not in self._by_name:
+            raise FleetError(f"unknown node {node!r}")
+        self._push(
+            max(self.now, at),
+            "degrade",
+            {"node": node, "failed_ssds": failed_ssds, "bw_sag": bw_sag, "restore": restore},
+        )
+
+    def run_until(self, until: float) -> None:
+        """Advance the fleet clock, processing every event up to ``until``."""
+        self._pump(until)
+
+    def drain(self) -> FleetOutcome:
+        """Run to completion and return the scored outcome."""
+        self._pump(None)
+        # With the heap empty no completion can ever free capacity or
+        # heal a node, so whatever is still queued can never start.
+        for state in list(self._queue):
+            self._reject(state, "no feasible node for this job")
+        return self._outcome()
+
+    def result(self, job_id: str) -> JobResult | None:
+        """The terminal record for one job (``None`` while in flight)."""
+        return self._results.get(job_id)
+
+    # -- event loop ------------------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, self._heap_seq, kind, payload))
+        self._heap_seq += 1
+
+    def _pump(self, until: float | None) -> None:
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                break
+            time, _, kind, payload = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            if kind == "arrive":
+                self._arrive(payload)
+            elif kind == "finish":
+                self._finish(*payload)
+            elif kind == "degrade":
+                self._degrade(payload)
+            else:  # pragma: no cover - internal invariant
+                raise FleetError(f"unknown event kind {kind!r}")
+            self._dispatch()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _arrive(self, job_id: str) -> None:
+        state = self._jobs[job_id]
+        self._event("submit", job_id=job_id)
+        if not any(self.oracle.feasible(state.spec, node) for node in self.nodes):
+            self._reject(state, "infeasible on every node", queued=False)
+            return
+        self._queue.append(state)
+
+    def _finish(self, job_id: str, version: int) -> None:
+        state = self._jobs[job_id]
+        if state.version != version or state.node is None:
+            return  # stale: the job was preempted/repriced since this was scheduled
+        node = self._by_name[state.node]
+        assert state.started_at is not None
+        node.busy_s += self.now - state.started_at
+        node.running = None
+        state.remaining_iterations = 0
+        result = JobResult(
+            spec=state.spec,
+            state="completed",
+            node=node.name,
+            submitted_at=state.submitted_at,
+            started_at=state.first_started_at,
+            finished_at=self.now,
+            iteration_time=state.iter_time,
+            preemptions=state.preemptions,
+            migrations=state.migrations,
+            nodes_visited=tuple(state.nodes_visited),
+        )
+        self._results[job_id] = result
+        state.node = None
+        self._event("complete", job_id=job_id, node=node.name)
+        self._record(
+            "complete",
+            state,
+            node.name,
+            latency_s=result.latency_s,
+            wait_s=result.wait_s,
+            met_deadline=result.met_deadline,
+        )
+
+    def _degrade(self, payload: dict[str, Any]) -> None:
+        node = self._by_name[payload["node"]]
+        if payload.get("restore"):
+            drift = node.restore()
+            kind = "restore"
+            detail = "healed to provisioned spec"
+        else:
+            drift = node.degrade(
+                failed_ssds=payload.get("failed_ssds"), bw_sag=payload.get("bw_sag")
+            )
+            kind = "degrade"
+            detail = "; ".join(str(event) for event in drift) or "no drift raised"
+        self._event(kind, node=node.name, detail=detail)
+        self._record(
+            kind,
+            None,
+            node.name,
+            drift=[event.to_payload() for event in drift],
+            failed_ssds=node.failed_ssds,
+            bw_sag=node.bw_sag,
+        )
+        self._escalate(node, [event.to_payload() for event in drift])
+
+    def _escalate(self, node: Node, drift: list[dict[str, Any]]) -> None:
+        """Node-level drift becomes a fleet-level rescheduling decision."""
+        state = node.running
+        if state is None:
+            return
+        new_iter = self.oracle.iteration_time(state.spec, node)
+        old_iter = state.iter_time
+        if math.isnan(new_iter) or new_iter > old_iter * self.migrate_threshold:
+            reason = (
+                "infeasible on degraded node"
+                if math.isnan(new_iter)
+                else f"degraded {new_iter / old_iter:.2f}x past "
+                f"threshold {self.migrate_threshold:.2f}x"
+            )
+            self._unseat(state, node)
+            self._queue.append(state)
+            self._event("requeue", job_id=state.spec.job_id, node=node.name, detail=reason)
+            self._record("requeue", state, node.name, reason=reason, drift=drift)
+        elif new_iter != old_iter:
+            # Ride it out, re-timed: fold completed iterations at the old
+            # rate, then reschedule the finish at the degraded rate.
+            assert state.started_at is not None
+            completed = self._completed_iterations(state)
+            node.busy_s += self.now - state.started_at
+            state.remaining_iterations -= completed
+            state.started_at = self.now
+            state.iter_time = new_iter
+            state.version += 1
+            if state.remaining_iterations <= 0:
+                state.remaining_iterations = 0
+                self._push(self.now, "finish", (state.spec.job_id, state.version))
+            else:
+                self._push(
+                    self.now + state.remaining_iterations * new_iter,
+                    "finish",
+                    (state.spec.job_id, state.version),
+                )
+            self._record(
+                "reprice",
+                state,
+                node.name,
+                iter_time_before=old_iter,
+                iter_time_after=new_iter,
+                drift=drift,
+            )
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        ordered = self.scheduler.order(self._queue, self.now, self.nodes, self.oracle)
+        leftover: list[JobState] = []
+        for state in ordered:
+            free = [node for node in self.nodes if node.free]
+            node = self.scheduler.place(state, free, self.now, self.oracle) if free else None
+            if node is None:
+                leftover.append(state)
+                continue
+            self._queue.remove(state)
+            self._assign(state, node)
+        if self.scheduler.preemptive:
+            for state in leftover:
+                busy = [node for node in self.nodes if not node.free]
+                victim_node = self.scheduler.preempt_victim(
+                    state, busy, self.now, self.oracle
+                )
+                if victim_node is None:
+                    continue
+                self._preempt(victim_node)
+                self._queue.remove(state)
+                self._assign(state, victim_node)
+
+    def _assign(self, state: JobState, node: Node) -> None:
+        iter_time = self.oracle.iteration_time(state.spec, node)
+        if math.isnan(iter_time) or iter_time <= 0:
+            raise FleetError(
+                f"scheduler placed {state.spec.job_id} on {node.name} "
+                "where it is infeasible"
+            )
+        migrated = bool(state.nodes_visited) and state.nodes_visited[-1] != node.name
+        state.node = node.name
+        state.started_at = self.now
+        if state.first_started_at is None:
+            state.first_started_at = self.now
+        state.iter_time = iter_time
+        state.version += 1
+        if migrated:
+            state.migrations += 1
+        state.nodes_visited.append(node.name)
+        node.running = state
+        self._push(
+            self.now + state.remaining_iterations * iter_time,
+            "finish",
+            (state.spec.job_id, state.version),
+        )
+        kind = "migrate" if migrated else "start"
+        self._event(kind, job_id=state.spec.job_id, node=node.name)
+        self._record(
+            kind,
+            state,
+            node.name,
+            iter_time=iter_time,
+            remaining_iterations=state.remaining_iterations,
+        )
+
+    def _preempt(self, node: Node) -> None:
+        state = node.running
+        assert state is not None
+        self._unseat(state, node)
+        self._queue.append(state)
+        self._event("preempt", job_id=state.spec.job_id, node=node.name)
+        self._record("preempt", state, node.name)
+
+    def _unseat(self, state: JobState, node: Node) -> None:
+        """Take a running job off its node, crediting completed iterations."""
+        assert state.started_at is not None
+        completed = self._completed_iterations(state)
+        node.busy_s += self.now - state.started_at
+        node.running = None
+        state.remaining_iterations = max(1, state.remaining_iterations - completed)
+        state.node = None
+        state.started_at = None
+        state.iter_time = math.nan
+        state.version += 1  # invalidate the scheduled finish
+        state.preemptions += 1
+
+    def _completed_iterations(self, state: JobState) -> int:
+        assert state.started_at is not None
+        if math.isnan(state.iter_time) or state.iter_time <= 0:
+            return 0
+        elapsed = self.now - state.started_at
+        return min(state.remaining_iterations, int(elapsed / state.iter_time))
+
+    def _reject(self, state: JobState, reason: str, *, queued: bool = True) -> None:
+        if queued and state in self._queue:
+            self._queue.remove(state)
+        self._results[state.spec.job_id] = JobResult(
+            spec=state.spec,
+            state="rejected",
+            submitted_at=state.submitted_at,
+            preemptions=state.preemptions,
+            migrations=state.migrations,
+            reason=reason,
+            nodes_visited=tuple(state.nodes_visited),
+        )
+        self._event("reject", job_id=state.spec.job_id, detail=reason)
+        self._record("reject", state, None, reason=reason)
+
+    # -- recording -------------------------------------------------------------
+
+    def _event(
+        self,
+        kind: str,
+        *,
+        job_id: str | None = None,
+        node: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            FleetEvent(time=self.now, kind=kind, job_id=job_id, node=node, detail=detail)
+        )
+
+    def _record(
+        self, decision: str, state: JobState | None, node_name: str | None, **extra: Any
+    ) -> None:
+        """Append one fleet decision to the run ledger (never fatal)."""
+        if self.ledger is None:
+            return
+        spec = state.spec if state is not None else None
+        node = self._by_name.get(node_name) if node_name else None
+        payload: dict[str, Any] = {
+            "decision": decision,
+            "time": self.now,
+            "scheduler": self.scheduler.name,
+            **extra,
+        }
+        if spec is not None:
+            payload["job"] = spec.to_payload()
+        try:
+            self.ledger.append(
+                LedgerEntry(
+                    label=(
+                        f"fleet:{self.scheduler.name}/"
+                        f"{spec.job_id if spec else 'node'}@{node_name or '-'}"
+                    ),
+                    policy=node.policy.name if node is not None else "-",
+                    model=spec.model if spec else "-",
+                    batch_size=spec.batch_size if spec else None,
+                    server=node.server.name if node is not None else "-",
+                    feasible=True,
+                    metrics={"decision": payload},
+                    kind="fleet",
+                    source="fleet",
+                )
+            )
+        except OSError:
+            logger.exception(
+                "fleet ledger append failed for %s (ledger %s); continuing",
+                decision, self.ledger.path,
+            )
+
+    # -- scoring ---------------------------------------------------------------
+
+    def _outcome(self) -> FleetOutcome:
+        results = [self._results[job_id] for job_id in self._order if job_id in self._results]
+        completed = [r for r in results if r.completed]
+        latencies = [r.latency_s for r in completed]
+        waits = [r.wait_s for r in completed if not math.isnan(r.wait_s)]
+        if completed:
+            first_submit = min(r.submitted_at for r in results)
+            last_finish = max(r.finished_at for r in completed if r.finished_at is not None)
+            makespan = last_finish - first_submit
+        else:
+            makespan = 0.0
+        busy = sum(node.busy_s for node in self.nodes)
+        utilization = busy / (len(self.nodes) * makespan) if makespan > 0 else 0.0
+        deadlines = [r for r in results if r.met_deadline is not None]
+        metrics: dict[str, Any] = {
+            "scheduler": self.scheduler.name,
+            "jobs": len(self._order),
+            "completed": len(completed),
+            "rejected": sum(1 for r in results if r.state == "rejected"),
+            "makespan_s": makespan,
+            "p99_latency_s": percentile(latencies, 0.99),
+            "p50_latency_s": percentile(latencies, 0.50),
+            "mean_latency_s": sum(latencies) / len(latencies) if latencies else math.nan,
+            "mean_wait_s": sum(waits) / len(waits) if waits else math.nan,
+            "utilization": utilization,
+            "preemptions": sum(r.preemptions for r in results),
+            "migrations": sum(r.migrations for r in results),
+            "requeues": sum(1 for e in self.events if e.kind == "requeue"),
+            "degradations": sum(1 for e in self.events if e.kind == "degrade"),
+            "deadlines_met": sum(1 for r in deadlines if r.met_deadline),
+            "deadlines_total": len(deadlines),
+        }
+        return FleetOutcome(
+            scheduler=self.scheduler.name,
+            results=results,
+            events=list(self.events),
+            makespan=makespan,
+            n_nodes=len(self.nodes),
+            metrics=metrics,
+        )

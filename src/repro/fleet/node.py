@@ -1,0 +1,159 @@
+"""One fleet node: a server preset, its policy, and its health state.
+
+A :class:`Node` wraps a healthy :class:`~repro.hardware.spec.ServerSpec`
+(one of the ``repro.hardware`` presets) together with the
+:class:`~repro.core.policy.OffloadPolicy` that runs jobs on it — Ratel
+on the consumer boxes, Megatron-LM on the DGX-A100 (which has no SSD
+array to offload to).  Degradation is modelled the same way the rest of
+the repo models it: by *deriving a new server spec* (fewer drives via
+``with_ssds``, a thermal bandwidth sag by scaling the SSD spec) and
+re-evaluating through :meth:`OffloadPolicy.evaluate`, so a degraded
+node's iteration times come out of the full planning/simulation stack
+rather than an ad-hoc scale factor.
+
+Each node owns a per-node :class:`~repro.adapt.health.HealthMonitor`
+(the PR-5 drift detector, anchored on the healthy profile).  Degrading a
+node feeds the monitor's ``observe_*`` surface and returns the typed
+:class:`~repro.adapt.health.DriftEvent` list from ``poll()`` — the
+signal the :class:`~repro.fleet.cluster.Fleet` escalates into
+fleet-level rescheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.adapt.health import DriftEvent, HealthMonitor
+from repro.core.hwprofile import profile_hardware
+from repro.core.policy import OffloadPolicy
+from repro.hardware.spec import ServerSpec
+
+from .api import FleetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import JobState
+
+
+class Node:
+    """A schedulable server with degradation state and a drift monitor."""
+
+    def __init__(
+        self,
+        name: str,
+        server: ServerSpec,
+        policy: OffloadPolicy,
+        *,
+        hardware_class: str | None = None,
+    ) -> None:
+        if not name:
+            raise FleetError("node name cannot be empty")
+        self.name = name
+        #: The healthy spec the node was provisioned with (never mutated).
+        self.server = server
+        self.policy = policy
+        self.hardware_class = hardware_class
+        #: Drives currently failed out of the array.
+        self.failed_ssds = 0
+        #: Thermal/firmware bandwidth sag multiplier on the SSD array.
+        self.bw_sag = 1.0
+        #: Busy seconds accumulated across all completed dispatches.
+        self.busy_s = 0.0
+        #: The job currently executing here (``None`` when free).
+        self.running: "JobState | None" = None
+        self._monitor: HealthMonitor | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "degraded" if self.degraded else "healthy"
+        return f"Node({self.name!r}, {self.server.gpu.name}, {state})"
+
+    # -- health ----------------------------------------------------------------
+
+    @property
+    def monitor(self) -> HealthMonitor:
+        """The per-node drift monitor (lazy: anchored on the healthy profile)."""
+        if self._monitor is None:
+            self._monitor = HealthMonitor(profile_hardware(self.server))
+            if self.server.n_ssds > 0:
+                self._monitor.observe_drives(self.server.n_ssds)
+        return self._monitor
+
+    @property
+    def degraded(self) -> bool:
+        return self.failed_ssds > 0 or self.bw_sag < 1.0
+
+    @property
+    def free(self) -> bool:
+        return self.running is None
+
+    def current_server(self) -> ServerSpec:
+        """The spec as degraded *right now* — what jobs actually run on.
+
+        Deriving a distinct spec (rather than scaling times after the
+        fact) keeps evaluation honest and cacheable: the runner's content
+        key covers the full server spec, so healthy and degraded
+        evaluations of the same job never collide.
+        """
+        server = self.server
+        if self.failed_ssds > 0:
+            server = server.with_ssds(self.server.n_ssds - self.failed_ssds)
+        if self.bw_sag < 1.0 and server.n_ssds > 0:
+            ssd = server.ssd
+            server = replace(
+                server,
+                ssd=replace(
+                    ssd,
+                    read_bw=ssd.read_bw * self.bw_sag,
+                    write_bw=ssd.write_bw * self.bw_sag,
+                ),
+            )
+        return server
+
+    def degrade(
+        self, *, failed_ssds: int | None = None, bw_sag: float | None = None
+    ) -> list[DriftEvent]:
+        """Apply a degradation and return the drift events it raises.
+
+        The monitor is fed the same signals the runtime would emit — the
+        surviving drive count and the array's effective-vs-profiled
+        bandwidth ratio — so detection runs through the real PR-5 path.
+        """
+        if failed_ssds is not None:
+            if not 0 <= failed_ssds <= self.server.n_ssds:
+                raise FleetError(
+                    f"node {self.name}: failed_ssds must be in "
+                    f"[0, {self.server.n_ssds}], got {failed_ssds}"
+                )
+            self.failed_ssds = failed_ssds
+        if bw_sag is not None:
+            if not 0 < bw_sag <= 1:
+                raise FleetError(
+                    f"node {self.name}: bw_sag must be in (0, 1], got {bw_sag}"
+                )
+            self.bw_sag = bw_sag
+        return self._observe()
+
+    def restore(self) -> list[DriftEvent]:
+        """Heal the node back to its provisioned spec."""
+        self.failed_ssds = 0
+        self.bw_sag = 1.0
+        return self._observe()
+
+    def _observe(self) -> list[DriftEvent]:
+        if self.server.n_ssds == 0:
+            # Nothing to observe: the node has no array to degrade
+            # (the DGX case) — treat it as permanently healthy.
+            return []
+        monitor = self.monitor
+        remaining = self.server.n_ssds - self.failed_ssds
+        monitor.observe_drives(remaining)
+        hw = monitor.hardware
+        if hw.bw_s2m > 0:
+            # Effective array rate scales with both the surviving drive
+            # fraction and the sag; feed the blended ratio twice so the
+            # EWMA (alpha=0.5) settles on it rather than on the mean
+            # with the healthy prior.
+            ratio = (remaining / self.server.n_ssds) * self.bw_sag
+            monitor.observe_bandwidth("ssd", hw.bw_s2m * ratio, hw.bw_s2m)
+            monitor.observe_bandwidth("ssd", hw.bw_s2m * ratio, hw.bw_s2m)
+        return monitor.poll()

@@ -1,0 +1,88 @@
+"""The scheduler's cost oracle: Algorithm 1 behind a caching facade.
+
+Fleet scheduling needs exactly what the paper's
+:class:`~repro.core.iteration_model.IterationTimeModel` provides — a
+cheap, accurate per-iteration cost estimate — so the oracle routes every
+(job, node) question through :meth:`OffloadPolicy.evaluate` on the
+shared :class:`~repro.runner.Sweep`.  Consequences:
+
+* answers are **memoized** by content key: a fleet of hundreds of jobs
+  drawn from a handful of (model, batch) shapes across a handful of
+  node classes costs a handful of simulations, and degraded node specs
+  get their own keys automatically;
+* answers are **typed**: the oracle hands schedulers
+  :class:`~repro.core.evaluation.EvalOutcome` objects, never dicts;
+* predicted iteration time prefers Algorithm 1's planned ``t_iter``
+  (the ``IterationTimeModel`` estimate) and falls back to the simulated
+  time for policies that plan without one (the baselines).
+
+Tests substitute any object with the same three methods
+(:meth:`iteration_time` / :meth:`feasible` / :meth:`needs`) to drive
+schedulers without touching the simulation stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.evaluation import EvalOutcome
+from repro.models import llm, profile_model
+from repro.runner import Sweep, default_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.memory_model import ResourceNeeds
+
+    from .api import JobSpec
+    from .node import Node
+
+
+class CostOracle:
+    """Cached (job, node) cost queries over the shared sweep."""
+
+    def __init__(self, sweep: Sweep | None = None) -> None:
+        self._sweep = sweep
+
+    @property
+    def sweep(self) -> Sweep:
+        return self._sweep if self._sweep is not None else default_sweep()
+
+    def outcome(self, spec: "JobSpec", node: "Node") -> EvalOutcome:
+        """The full evaluation of this job on this node's *current* spec."""
+        return self.sweep.evaluate(
+            node.policy, llm(spec.model), spec.batch_size, node.current_server()
+        )
+
+    def feasible(self, spec: "JobSpec", node: "Node") -> bool:
+        """Can the node run the job right now (class pin + memory fit)?"""
+        if spec.hardware_class is not None and spec.hardware_class != node.hardware_class:
+            return False
+        return self.outcome(spec, node).feasible
+
+    def iteration_time(self, spec: "JobSpec", node: "Node") -> float:
+        """Seconds per iteration on this node (NaN when infeasible).
+
+        Prefers the Algorithm-1 plan's predicted ``t_iter`` — the
+        :class:`IterationTimeModel` estimate the SJF policy is named
+        after — over the simulated time, falling back for policies that
+        carry no plan.
+        """
+        outcome = self.outcome(spec, node)
+        if not outcome.feasible:
+            return math.nan
+        predicted = outcome.predicted_iteration_time
+        if not math.isnan(predicted) and predicted > 0:
+            return predicted
+        return outcome.iteration_time
+
+    def service_time(self, spec: "JobSpec", node: "Node", iterations: int) -> float:
+        """Seconds to run ``iterations`` more iterations here (NaN if unfit)."""
+        return iterations * self.iteration_time(spec, node)
+
+    def needs(self, spec: "JobSpec", node: "Node") -> "ResourceNeeds | None":
+        """The policy's tier-budget footprint for bin-packing placement."""
+        try:
+            profile = profile_model(llm(spec.model), spec.batch_size)
+            return node.policy.memory_needs(profile, node.current_server())
+        except Exception:  # noqa: BLE001 - unfit shapes simply don't bin-pack
+            return None

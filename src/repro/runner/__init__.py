@@ -31,6 +31,7 @@ Example::
 
 from .cache import CACHE_VERSION, CacheStats, ResultCache
 from .keys import CacheKeyError, cache_key, describe
+from .options import RunOptions, run_options_parent
 from .sweep import (
     EXECUTORS,
     ON_ERROR_MODES,
@@ -53,6 +54,8 @@ __all__ = [
     "CacheKeyError",
     "cache_key",
     "describe",
+    "RunOptions",
+    "run_options_parent",
     "EXECUTORS",
     "ON_ERROR_MODES",
     "PointFailure",

@@ -320,3 +320,45 @@ class TestSweepAdapt:
         # and the omniscient replanner — plus the swap count.
         for column in ("stale", "adaptive", "oracle", "swaps"):
             assert column in text
+
+
+class TestFleetCommand:
+    def test_fleet_prints_scorecard(self):
+        code, text = run_cli("fleet", "--arrivals", "4", "--show-events", "0")
+        assert code == 0
+        assert "fleet: sjf over 4 jobs" in text
+        assert "makespan" in text and "P99" in text
+
+    def test_fleet_adapt_records_escalation_to_ledger(self, tmp_path):
+        from repro import runner
+        from repro.obs.ledger import load_ledger
+
+        path = str(tmp_path / "fleet.jsonl")
+        try:
+            code, text = run_cli(
+                "fleet", "--arrivals", "10", "--adapt", "--ledger", path,
+            )
+        finally:
+            runner.reset()
+        assert code == 0
+        assert "degradations=1" in text
+        entries = load_ledger(path).entries()
+        fleet_entries = [e for e in entries if e.kind == "fleet"]
+        assert fleet_entries, "fleet decisions should land in the ledger"
+        decisions = {e.metrics["decision"]["decision"] for e in fleet_entries}
+        assert "degrade" in decisions
+
+    def test_fleet_scheduler_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            run_cli("fleet", "--scheduler", "bogus")
+
+    def test_fleet_shares_runner_parent_flags(self):
+        # The consolidated RunOptions parent parser: fleet accepts the
+        # same --cache-dir/--retries/--timeout flags sweep does.
+        from repro.cli import build_parser
+
+        for command in ("sweep", "fleet", "experiments"):
+            args = build_parser().parse_args([command, "--retries", "2"])
+            assert args.retries == 2
+        args = build_parser().parse_args(["obs", "report", "13B", "8", "--jobs", "3"])
+        assert args.jobs == 3

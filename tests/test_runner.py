@@ -400,21 +400,14 @@ class TestQuarantinePool:
             sweep.run([SweepPoint.evaluate(SlowPolicy(2.0), CONFIG, 8, SERVER)])
 
 
-class TestDeprecatedShims:
-    def test_throughput_shim_warns_and_matches(self):
-        from repro.experiments.common import evaluate_point, throughput_tokens_per_s
+class TestShimsRemoved:
+    """The pre-``evaluate()`` shims are gone after their deprecation cycle."""
 
-        with pytest.warns(DeprecationWarning):
-            legacy = throughput_tokens_per_s(RatelPolicy(), CONFIG, 32, SERVER)
-        assert legacy == evaluate_point(RatelPolicy(), CONFIG, 32, SERVER).tokens_per_s
+    def test_legacy_helpers_are_gone(self):
+        import repro.experiments.common as common
 
-    def test_best_throughput_shim_warns(self):
-        from repro.experiments.common import best_throughput
-
-        with pytest.warns(DeprecationWarning):
-            best = best_throughput(RatelPolicy(), CONFIG, SERVER, (8, 16))
-        assert best is not None
-        assert best[0] in (8, 16)
+        assert not hasattr(common, "throughput_tokens_per_s")
+        assert not hasattr(common, "best_throughput")
 
 
 class TestSummaryLine:

@@ -1,0 +1,145 @@
+"""Tests for ``repro.session``: scoped ledger + observe + health wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import runner
+from repro.core import RatelPolicy
+from repro.hardware import evaluation_server
+from repro.models import llm
+from repro.obs import spans
+from repro.obs.ledger import RunLedger, load_ledger
+from repro.session import Session, SessionError, attach_ledger
+
+
+class FakeRuntime:
+    def __init__(self):
+        self.health = "unset"
+
+    def attach_health(self, health):
+        self.health = health
+
+
+class FakeHealth:
+    def clock(self):
+        return 0.0
+
+    def on_step(self, runtime, dt):
+        pass
+
+
+class TestAttachLedger:
+    def test_attaches_to_default_sweep(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        try:
+            ledger = attach_ledger(path)
+            assert isinstance(ledger, RunLedger)
+            assert runner.default_sweep().ledger is ledger
+        finally:
+            runner.reset()
+
+    def test_experiments_helper_delegates_here(self, tmp_path):
+        from repro.experiments.common import attach_ledger as legacy
+
+        path = str(tmp_path / "runs.jsonl")
+        try:
+            ledger = legacy(path)
+            assert runner.default_sweep().ledger is ledger
+        finally:
+            runner.reset()
+
+    def test_explicit_sweep_target(self, tmp_path):
+        sweep = runner.Sweep()
+        ledger = attach_ledger(str(tmp_path / "runs.jsonl"), sweep=sweep)
+        assert sweep.ledger is ledger
+        assert runner.default_sweep().ledger is None
+        runner.reset()
+
+
+class TestSessionLifecycle:
+    def test_ledger_attached_then_restored(self, tmp_path):
+        sweep = runner.Sweep()
+        previous = RunLedger(str(tmp_path / "before.jsonl"))
+        sweep.ledger = previous
+        with Session(ledger=str(tmp_path / "during.jsonl"), sweep=sweep) as session:
+            assert sweep.ledger is session.ledger
+            assert sweep.ledger is not previous
+        assert sweep.ledger is previous
+
+    def test_ledger_records_computed_evaluations(self, tmp_path):
+        path = str(tmp_path / "during.jsonl")
+        sweep = runner.Sweep()
+        with Session(ledger=path, sweep=sweep):
+            sweep.evaluate(RatelPolicy(), llm("6B"), 8, evaluation_server())
+        [entry] = load_ledger(path).entries()
+        assert entry.model == "6B"
+
+    def test_observe_recorder_scoped_to_block(self):
+        assert spans.recorder() is None
+        with Session(observe=True) as session:
+            assert session.recorder is not None
+            assert spans.recorder() is session.recorder
+        assert spans.recorder() is None
+
+    def test_nested_recorder_restored(self):
+        with Session(observe=True) as outer:
+            with Session(observe=True) as inner:
+                assert spans.recorder() is inner.recorder
+            assert spans.recorder() is outer.recorder
+
+    def test_bind_attaches_and_detaches_health(self):
+        runtime = FakeRuntime()
+        health = FakeHealth()
+        with Session() as session:
+            assert session.bind(runtime, health) is runtime
+            assert runtime.health is health
+        assert runtime.health is None
+
+    def test_bind_outside_block_raises(self):
+        session = Session()
+        with pytest.raises(SessionError):
+            session.bind(FakeRuntime(), FakeHealth())
+
+    def test_not_reentrant(self):
+        session = Session()
+        with session:
+            with pytest.raises(SessionError):
+                session.__enter__()
+        # ...but reusable sequentially after a clean exit.
+        with session:
+            pass
+
+    def test_record_requires_ledger(self):
+        with Session() as session:
+            with pytest.raises(SessionError):
+                session.record(object())
+
+    def test_exit_clears_handles(self, tmp_path):
+        session = Session(ledger=str(tmp_path / "l.jsonl"), observe=True)
+        with session:
+            pass
+        assert session.ledger is None and session.recorder is None
+        assert not session.active
+
+    def test_real_runtime_bind_round_trip(self):
+        from repro.runtime import GPTModel, RatelOptimizer, ratel_hook, ratel_init
+
+        import numpy as np
+
+        GB = 1e9
+        with ratel_init(
+            gpu_capacity=1 * GB,
+            host_capacity=4 * GB,
+            nvme_capacity=4 * GB,
+            checkpoint_tier="host",
+            states_tier="host",
+        ):
+            model = GPTModel(53, 32, 2, 4, 16, np.random.default_rng(0))
+            runtime = ratel_hook(model)
+            RatelOptimizer(model, runtime, lr=1e-2)
+        health = FakeHealth()
+        with Session() as session:
+            session.bind(runtime, health)
+            assert runtime._health is health
+        assert runtime._health is None
