@@ -1,0 +1,51 @@
+"""Bench: the planner service's chaos drill as a scored SLO gate.
+
+One payload lands in ``benchmarks/results/BENCH_serve.json``: the full
+:class:`~repro.serve.ChaosReport` — per-phase status/rung/P99 stats,
+the breaker transition arc, journal accounting across the simulated
+``kill -9`` + restart, and the drill's violation list.  The numbers
+are dominated by deliberately-injected waits (cooldowns, deadlines),
+so the diff gate reads them through the ``BENCH_serve.json:*``
+allowlist entry; the bench's own assertion — ``report.passed`` — is
+the gate that matters, and CI's serve-smoke job fails loudly on any
+SLO violation.
+
+Runs under the ``bench_smoke`` marker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import run_chaos_drill
+
+from conftest import write_bench_json
+
+#: Generous wall bar: the drill's sleeps sum to well under 2 s.
+MAX_DRILL_WALL_S = 30.0
+
+
+@pytest.mark.bench_smoke
+def test_chaos_drill_meets_slos(tmp_path):
+    started = time.perf_counter()
+    report = run_chaos_drill(str(tmp_path), seed=7)
+    wall = time.perf_counter() - started
+
+    write_bench_json("serve", report.to_payload())
+
+    flood = report.phase("flood")
+    shed = flood.statuses.get(429, 0) + flood.statuses.get(503, 0)
+    print(
+        f"\nserve drill: {len(report.phases)} phases in {wall:.1f} s wall, "
+        f"breaker arc {' -> '.join(report.breaker_states)}, "
+        f"flood shed {shed}/{flood.sent}, "
+        f"journal {report.journal['accepted']} accepted = "
+        f"{report.journal['done']} done + {report.journal['failed']} failed"
+    )
+
+    assert report.passed, "SLO violations: " + "; ".join(report.violations)
+    assert wall < MAX_DRILL_WALL_S, (
+        f"chaos drill took {wall:.1f} s (bar {MAX_DRILL_WALL_S:.0f} s)"
+    )

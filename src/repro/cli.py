@@ -16,6 +16,11 @@ Commands:
   (``fig1`` ... ``fig13``, or ``all``) and print the tables.
 * ``trace``       — export one simulated Ratel iteration as a
   Chrome/Perfetto trace JSON (the Fig. 1 timeline, interactive).
+* ``serve``       — run the hardened what-if planner service
+  (``repro.serve``): a stdlib HTTP daemon answering capacity queries
+  with admission control, a circuit breaker and a degradation ladder;
+  ``--selftest`` runs the in-process chaos drill instead and exits
+  non-zero on any SLO violation.
 * ``obs report``  — bottleneck attribution for one workload: the
   per-stage, per-resource busy/stall/idle table, the binding resource of
   each stage, and planned-vs-actual iteration time (``repro.obs``).
@@ -161,6 +166,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("model", choices=sorted(LLM_PRESETS))
     trace.add_argument("batch", type=int)
     trace.add_argument("-o", "--output", default="iteration.json")
+
+    serve = sub.add_parser(
+        "serve", help="run the hardened what-if planner HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8787, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="admission token-bucket refill rate, requests/s (default: 50)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=16.0,
+        help="admission token-bucket burst capacity (default: 16)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="simulation worker pool size (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="in-flight requests beyond which the queue sheds 503 (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=5.0, metavar="SECONDS",
+        help="per-request deadline before the answer degrades (default: 5)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".serve-cache",
+        help="plan cache directory (default: .serve-cache)",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead request journal (default: <cache-dir>/journal.jsonl)",
+    )
+    serve.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append serve decisions and breaker transitions to a run ledger",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="run the chaos drill in-process and exit non-zero on SLO violations",
+    )
 
     obs = sub.add_parser("obs", help="observability: attribution, metrics")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -469,6 +516,65 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    import tempfile
+
+    from repro.serve import PlannerService, ServiceConfig, make_server, run_chaos_drill
+
+    if args.selftest:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-selftest-") as root:
+            report = run_chaos_drill(root)
+        for phase in report.phases:
+            statuses = ", ".join(
+                f"{code}:{count}" for code, count in sorted(phase.statuses.items())
+            )
+            print(
+                f"  {phase.name:8s} {phase.sent:3d} sent  [{statuses}]  "
+                f"P99 {phase.p99_s:.3f} s",
+                file=out,
+            )
+        print(
+            f"breaker arc: {' -> '.join(report.breaker_states) or '-'} | "
+            f"journal: {report.journal.get('accepted', 0)} accepted, "
+            f"{report.journal.get('orphans_after_recovery', 0)} orphans | "
+            f"{report.cache_corrupt_detected} corrupt cache entries caught",
+            file=out,
+        )
+        if not report.passed:
+            for violation in report.violations:
+                print(f"SLO VIOLATION: {violation}", file=out)
+            print(f"selftest FAILED ({len(report.violations)} violations)", file=out)
+            return 1
+        print(f"selftest passed in {report.wall_s:.2f} s (0 SLO violations)", file=out)
+        return 0
+
+    config = ServiceConfig(
+        rate=args.rate,
+        burst=args.burst,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline,
+        cache_dir=args.cache_dir,
+        journal_path=args.journal or os.path.join(args.cache_dir, "journal.jsonl"),
+        ledger_path=args.ledger,
+    )
+    service = PlannerService(config)
+    replayed = service.recover()
+    if replayed:
+        print(f"recovered {replayed} orphaned request(s) from the journal", file=out)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"planner service on http://{host}:{port} "
+        f"(POST /v1/whatif, GET /healthz /v1/stats /metrics)",
+        file=out,
+    )
+    from repro.serve import run_daemon
+
+    run_daemon(server)
+    return 0
+
+
 def cmd_obs(args, out) -> int:
     handlers = {"report": cmd_obs_report, "diff": cmd_obs_diff, "html": cmd_obs_html}
     return handlers[args.obs_command](args, out)
@@ -621,6 +727,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "experiments": cmd_experiments,
         "report": cmd_report,
         "trace": cmd_trace,
+        "serve": cmd_serve,
         "obs": cmd_obs,
     }
     return handlers[args.command](args, out)

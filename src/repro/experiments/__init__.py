@@ -17,6 +17,7 @@ from . import (
     ext_fleet,
     ext_resilience,
     ext_seq_len,
+    ext_serve,
     fig1_breakdown,
     fig2_motivation,
     fig5_throughput,
@@ -48,6 +49,7 @@ ALL_MODULES = (
     ext_resilience,
     ext_adaptive,
     ext_fleet,
+    ext_serve,
     traffic_report,
 )
 

@@ -9,7 +9,9 @@ seeded RNG at a configured rate, so every scenario replays identically.
 
 :func:`with_retries` is the bounded retry-with-exponential-backoff loop
 the hardened storage layer (and any other real-I/O caller) wraps
-transient operations in.
+transient operations in — a thin, jitter-free front on the shared
+:mod:`repro.util.backoff` helper (kept here for its historical signature
+and for determinism: storage tests pin the exact delay sequence).
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ import random
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
+
+from repro.util.backoff import BackoffPolicy, retry_call
 
 logger = logging.getLogger("repro.faults")
 
@@ -140,27 +144,15 @@ def with_retries(
 
     Retries only exceptions in ``retry_on`` (transient I/O by default),
     sleeping ``backoff_s * 2**attempt`` between attempts and logging each
-    retry under ``repro.faults``.  The final failure re-raises the last
-    exception unchanged so callers can wrap it in a domain error.
+    retry.  Delegates to :func:`repro.util.backoff.retry_call` with
+    jitter disabled — the delay sequence stays exactly
+    ``backoff_s, 2*backoff_s, ...`` so fault scenarios replay
+    bit-identically.  The final failure re-raises the last exception
+    unchanged so callers can wrap it in a domain error.
     """
     if retries < 0:
         raise ValueError(f"retries cannot be negative, got {retries}")
-    delay = backoff_s
-    for attempt in range(retries + 1):
-        try:
-            return fn()
-        except retry_on as exc:
-            if attempt == retries:
-                raise
-            logger.warning(
-                "%s failed (attempt %d/%d): %s; retrying in %.3fs",
-                what,
-                attempt + 1,
-                retries + 1,
-                exc,
-                delay,
-            )
-            if delay > 0:
-                sleep(delay)
-            delay *= 2
-    raise AssertionError("unreachable")  # pragma: no cover
+    policy = BackoffPolicy(
+        base_s=backoff_s, factor=2.0, max_attempts=retries + 1, jitter="none"
+    )
+    return retry_call(fn, policy=policy, what=what, retry_on=retry_on, sleep=sleep)

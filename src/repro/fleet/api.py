@@ -43,6 +43,7 @@ EVENT_KINDS = (
     "reject",
     "degrade",
     "restore",
+    "scheduler_error",
 )
 
 

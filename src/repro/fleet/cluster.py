@@ -329,11 +329,25 @@ class Fleet:
     def _dispatch(self) -> None:
         if not self._queue:
             return
-        ordered = self.scheduler.order(self._queue, self.now, self.nodes, self.oracle)
+        try:
+            ordered = list(
+                self.scheduler.order(self._queue, self.now, self.nodes, self.oracle)
+            )
+        except Exception as exc:  # noqa: BLE001 - containment boundary
+            ordered = self._order_survivors(exc)
         leftover: list[JobState] = []
         for state in ordered:
+            if state not in self._queue:
+                continue  # quarantined while probing order()
             free = [node for node in self.nodes if node.free]
-            node = self.scheduler.place(state, free, self.now, self.oracle) if free else None
+            if not free:
+                leftover.append(state)
+                continue
+            try:
+                node = self.scheduler.place(state, free, self.now, self.oracle)
+            except Exception as exc:  # noqa: BLE001 - containment boundary
+                self._quarantine(state, exc, "place")
+                continue
             if node is None:
                 leftover.append(state)
                 continue
@@ -341,15 +355,74 @@ class Fleet:
             self._assign(state, node)
         if self.scheduler.preemptive:
             for state in leftover:
+                if state not in self._queue:
+                    continue
                 busy = [node for node in self.nodes if not node.free]
-                victim_node = self.scheduler.preempt_victim(
-                    state, busy, self.now, self.oracle
-                )
+                try:
+                    victim_node = self.scheduler.preempt_victim(
+                        state, busy, self.now, self.oracle
+                    )
+                except Exception as exc:  # noqa: BLE001 - containment boundary
+                    self._quarantine(state, exc, "preempt_victim")
+                    continue
                 if victim_node is None:
                     continue
                 self._preempt(victim_node)
                 self._queue.remove(state)
                 self._assign(state, victim_node)
+
+    def _order_survivors(self, exc: Exception) -> list[JobState]:
+        """``order()`` raised on the full queue: find and quarantine offenders.
+
+        Probes each queued job alone; jobs that individually make the
+        scheduler raise are quarantined, the rest proceed in arrival
+        order.  When no single job reproduces the failure (the exception
+        needed the combination), nothing is quarantined and the whole
+        queue falls back to arrival order — degraded scheduling beats a
+        dead event loop.
+        """
+        logger.warning(
+            "scheduler %s order() raised %s: %s; probing queue for offenders",
+            self.scheduler.name,
+            type(exc).__name__,
+            exc,
+        )
+        survivors: list[JobState] = []
+        quarantined = 0
+        for state in list(self._queue):
+            try:
+                self.scheduler.order([state], self.now, self.nodes, self.oracle)
+            except Exception as probe_exc:  # noqa: BLE001 - containment boundary
+                self._quarantine(state, probe_exc, "order")
+                quarantined += 1
+            else:
+                survivors.append(state)
+        if not quarantined:
+            self._event(
+                "scheduler_error",
+                detail=(
+                    f"order: {type(exc).__name__}: {exc} "
+                    "(no single offender; falling back to arrival order)"
+                ),
+            )
+        return survivors
+
+    def _quarantine(self, state: JobState, exc: Exception, where: str) -> None:
+        """Contain a scheduler exception: evict the job that triggered it.
+
+        The offending job is rejected (its result records why) and a
+        ``scheduler_error`` event marks the timeline; every other job
+        keeps flowing through the event loop.
+        """
+        detail = f"{where}: {type(exc).__name__}: {exc}"
+        logger.warning(
+            "scheduler %s raised on job %s (%s); quarantining the job",
+            self.scheduler.name,
+            state.spec.job_id,
+            detail,
+        )
+        self._event("scheduler_error", job_id=state.spec.job_id, detail=detail)
+        self._reject(state, f"quarantined after scheduler error ({detail})")
 
     def _assign(self, state: JobState, node: Node) -> None:
         iter_time = self.oracle.iteration_time(state.spec, node)

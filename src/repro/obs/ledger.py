@@ -25,11 +25,12 @@ committed copy there is the CI regression gate's baseline
 from __future__ import annotations
 
 import datetime as _datetime
-import json
 import os
 import subprocess
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.util.jsonl import JsonlFile
 
 from .attribution import AttributionReport
 
@@ -182,26 +183,39 @@ class RunLedger:
 
     Reads are tolerant: lines that fail to parse (or parse to something
     that is not an entry) are counted in ``skipped`` and ignored, so one
-    torn write never poisons the trajectory.
+    torn write never poisons the trajectory.  A *trailing* record torn
+    by a crash mid-append is tracked separately in ``truncated_tail``
+    (see :class:`repro.util.jsonl.JsonlFile`) — recovery code uses that
+    to tell "lost the in-flight append" apart from interior corruption.
+
+    ``fsync=True`` makes every append durable before returning; the
+    planner service's decision ledger runs in that mode, bulk recording
+    keeps the cheaper default.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, fsync: bool = False) -> None:
         self.path = path
         self.skipped = 0
+        self._file = JsonlFile(path, fsync=fsync)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"RunLedger({self.path!r})"
+
+    @property
+    def fsync(self) -> bool:
+        """Whether appends fsync before returning."""
+        return self._file.fsync
+
+    @property
+    def truncated_tail(self) -> int:
+        """Torn trailing records seen by the most recent read (0 or 1)."""
+        return self._file.truncated_tail
 
     # -- writing ---------------------------------------------------------------
 
     def append(self, entry: LedgerEntry) -> LedgerEntry:
         """Append one entry (creating the parent directory as needed)."""
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        line = json.dumps(entry.to_payload(), sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        self._file.append(entry.to_payload())
         return entry
 
     def record(
@@ -216,17 +230,14 @@ class RunLedger:
 
     def __iter__(self) -> Iterator[LedgerEntry]:
         self.skipped = 0
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield LedgerEntry.from_payload(json.loads(line))
-                except (json.JSONDecodeError, LedgerError, TypeError):
-                    self.skipped += 1
+        for payload in self._file:
+            try:
+                yield LedgerEntry.from_payload(payload)
+            except (LedgerError, TypeError):
+                self.skipped += 1
+        # Unparseable lines the JSONL layer dropped count too (torn tails
+        # stay separate, surfaced via ``truncated_tail``).
+        self.skipped += self._file.skipped
 
     def entries(self) -> list[LedgerEntry]:
         """Every parseable entry, in file (= chronological append) order."""

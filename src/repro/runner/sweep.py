@@ -54,6 +54,7 @@ from repro.hardware.spec import ServerSpec
 from repro.models.profile import profile_model
 from repro.obs.ledger import RunLedger
 from repro.obs.metrics import MetricsRegistry, RegistrySnapshot
+from repro.util.backoff import BackoffPolicy
 
 from .cache import DISK, ResultCache
 from .keys import cache_key
@@ -381,6 +382,15 @@ class Sweep:
             raise SweepError(f"retries cannot be negative, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise SweepError(f"timeout must be positive, got {self.timeout}")
+        # The shared backoff schedule both retry paths (in-process and
+        # pool resubmission) sleep on.  Jitter-free: sweep retries are
+        # single-tenant, and the tests pin deterministic behaviour.
+        self._backoff = BackoffPolicy(
+            base_s=self.retry_backoff_s,
+            factor=2.0,
+            max_attempts=self.retries + 1,
+            jitter="none",
+        )
         if self.cache is None:
             self.cache = ResultCache(disk_dir=self.cache_dir)
         if self.registry is None:
@@ -558,8 +568,7 @@ class Sweep:
 
     def _compute_resilient(self, point: SweepPoint) -> Any:
         """Compute one point in-process with retry/backoff/quarantine."""
-        delay = self.retry_backoff_s
-        attempts = self.retries + 1
+        attempts = self._backoff.max_attempts
         for attempt in range(1, attempts + 1):
             started = time.perf_counter()
             try:
@@ -568,6 +577,7 @@ class Sweep:
                 raise  # malformed points are a caller bug, not a transient fault
             except Exception as exc:  # noqa: BLE001 — resilience boundary
                 if attempt < attempts:
+                    delay = self._backoff.delay(attempt - 1)
                     self.registry.counter("sweep_retries_total").inc(kind=point.kind)
                     logger.warning(
                         "point %s failed (attempt %d/%d): %s; retrying in %.3fs",
@@ -575,7 +585,6 @@ class Sweep:
                     )
                     if delay > 0:
                         time.sleep(delay)
-                    delay *= 2
                     continue
                 if self.on_error == "raise":
                     raise
@@ -629,7 +638,6 @@ class Sweep:
 
         pool = make_pool()
         attempts: dict[str, int] = {}
-        delays: dict[str, float] = {}
         futures: dict[Future, str] = {}
         deadlines: dict[Future, float] = {}
         had_stragglers = False
@@ -663,8 +671,7 @@ class Sweep:
         def retry_or_fail(key: str, exc: BaseException) -> None:
             if attempts[key] <= self.retries:
                 self.registry.counter("sweep_retries_total").inc(kind=unique[key].kind)
-                delay = delays.get(key, self.retry_backoff_s)
-                delays[key] = delay * 2
+                delay = self._backoff.delay(attempts[key] - 1)
                 logger.warning(
                     "point %s failed (attempt %d/%d): %s; retrying in %.3fs",
                     unique[key].label(), attempts[key], self.retries + 1, exc, delay,

@@ -39,8 +39,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.faults.inject import with_retries
 from repro.obs import spans as _spans
+from repro.util.backoff import BackoffPolicy, retry_call
 
 GPU = "gpu"
 HOST = "host"
@@ -152,6 +152,10 @@ class StorageManager:
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries cannot be negative, got {max_retries}")
+        # Jitter-free so injected fault scenarios replay bit-identically.
+        self._backoff = BackoffPolicy(
+            base_s=backoff_s, factor=2.0, max_attempts=max_retries + 1, jitter="none"
+        )
         #: Optional :class:`repro.faults.FaultInjector` (duck-typed) whose
         #: ``on_read`` / ``on_write`` / ``maybe_corrupt`` hooks wrap spill I/O.
         self.faults = faults
@@ -291,11 +295,10 @@ class StorageManager:
 
         try:
             with _spans.maybe_span(_spans.RT_SSD, f"spill:{tensor.name}", tensor.nbytes):
-                with_retries(
+                retry_call(
                     attempt,
+                    policy=self._backoff,
                     what=f"spill of {tensor.name!r}",
-                    retries=self.max_retries,
-                    backoff_s=self.backoff_s,
                     sleep=self._sleep,
                 )
         except OSError as exc:
@@ -330,11 +333,10 @@ class StorageManager:
 
         try:
             with _spans.maybe_span(_spans.RT_SSD, f"load:{tensor.name}", tensor.nbytes):
-                array = with_retries(
+                array = retry_call(
                     attempt,
+                    policy=self._backoff,
                     what=f"load of {tensor.name!r}",
-                    retries=self.max_retries,
-                    backoff_s=self.backoff_s,
                     sleep=self._sleep,
                 )
         except OSError as exc:

@@ -1,0 +1,64 @@
+"""The hardened what-if planner service (``repro serve``).
+
+Answers capacity questions — "would this model/batch/hardware combo be
+feasible, and at what iteration time?" — over HTTP without re-running
+the full planning stack per request.  The answer pipeline consults the
+run ledger first, then a concurrency-safe on-disk plan cache, and only
+simulates on a miss, inside a bounded worker pool.
+
+Every layer is built to degrade loudly instead of failing silently:
+
+* :mod:`repro.serve.admission` — token-bucket admission control and a
+  bounded queue; overload is shed with explicit 429/503 + Retry-After.
+* :mod:`repro.serve.breaker` — a circuit breaker around the simulation
+  backend (open on consecutive failures, half-open probes, every
+  transition ledgered).
+* :mod:`repro.serve.ladder` — the four-rung answer-degradation ladder
+  (exact → cached neighbor → analytic estimate → 503), monotone within
+  an overload episode.
+* :mod:`repro.serve.cache` / :mod:`repro.serve.journal` — crash safety:
+  atomic checksummed cache writes and a write-ahead journal of accepted
+  requests, so ``kill -9`` + restart loses and double-runs nothing.
+* :mod:`repro.serve.chaos` — the fault drill that proves all of the
+  above under request floods, worker crashes, slow backends and cache
+  corruption (scored in ``ext_serve`` / ``bench_serve``).
+"""
+
+from .admission import AdmissionController, AdmissionDecision, TokenBucket
+from .breaker import BreakerOpen, CircuitBreaker
+from .cache import PlanCache
+from .chaos import ChaosReport, run_chaos_drill
+from .http import PlannerHTTPServer, make_server, run_daemon, start_in_thread
+from .journal import JournalAccounting, RequestJournal
+from .ladder import DegradationLadder, RUNGS, rung_index, rung_name
+from .service import (
+    PlannerService,
+    ServeResponse,
+    ServiceConfig,
+    WhatIfQuery,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerOpen",
+    "ChaosReport",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "JournalAccounting",
+    "PlanCache",
+    "PlannerHTTPServer",
+    "PlannerService",
+    "RUNGS",
+    "RequestJournal",
+    "ServeResponse",
+    "ServiceConfig",
+    "TokenBucket",
+    "WhatIfQuery",
+    "make_server",
+    "run_chaos_drill",
+    "run_daemon",
+    "start_in_thread",
+    "rung_index",
+    "rung_name",
+]

@@ -1,0 +1,123 @@
+"""Admission control: the service's front door.
+
+Two independent limits decide whether a request is even *accepted*:
+
+* a :class:`TokenBucket` caps the sustained request rate (``rate``
+  tokens/s, ``burst`` capacity) — exceeding it is the client's fault,
+  answered ``429 Too Many Requests``;
+* a bounded in-flight queue caps concurrent work the service has
+  admitted but not finished — exceeding it means the *service* is
+  saturated, answered ``503 Service Unavailable``.
+
+Both rejections carry an honest ``Retry-After``: the bucket knows
+exactly when the next token lands, and the queue estimate is the
+configured deadline (the longest an in-flight slot can stay occupied).
+Load is shed *before* the journal sees the request, so a shed request
+is explicit (the client got a status) and cheap (no durable write).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+class TokenBucket:
+    """Thread-safe token bucket with an injectable clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens; False (and no tokens) when short."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def time_until(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (0 if already)."""
+        with self._lock:
+            self._refill()
+            deficit = n - self._tokens
+            return max(0.0, deficit / self.rate)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The front door's verdict on one request."""
+
+    admitted: bool
+    status: int = 200
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Token bucket + bounded queue, folded into one admit() call."""
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        burst: float,
+        max_queue: int,
+        queue_wait_hint_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1, got {max_queue}")
+        self.bucket = TokenBucket(rate, burst, clock=clock)
+        self.max_queue = max_queue
+        self.queue_wait_hint_s = queue_wait_hint_s
+        self.shed_rate = 0
+        self.shed_depth = 0
+
+    def admit(self, queue_depth: int) -> AdmissionDecision:
+        """Decide one request given the current in-flight depth.
+
+        Queue saturation is checked first — when the service itself is
+        full, a client that paced itself correctly still gets the honest
+        503 (and keeps its rate token for the retry).
+        """
+        if queue_depth >= self.max_queue:
+            self.shed_depth += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=503,
+                reason=f"queue full ({queue_depth}/{self.max_queue} in flight)",
+                retry_after_s=self.queue_wait_hint_s,
+            )
+        if not self.bucket.take():
+            self.shed_rate += 1
+            return AdmissionDecision(
+                admitted=False,
+                status=429,
+                reason="rate limit exceeded",
+                retry_after_s=self.bucket.time_until(),
+            )
+        return AdmissionDecision(admitted=True)

@@ -1,0 +1,152 @@
+"""Concurrency-safe on-disk plan cache with corruption detection.
+
+One JSON file per content key (the runner's SHA-256 point key), each
+wrapped in a CRC32 envelope so a torn or bit-flipped file is *detected*
+and treated as a miss instead of silently served.  Writes are atomic
+(temp file + ``os.replace``), so readers never observe a half-written
+entry and a crash mid-write leaves the previous value intact.
+
+``get_or_compute`` is single-flight: when N threads miss on the same
+key simultaneously, exactly one computes while the rest wait for its
+result — the concurrency test hammers this with a barrier and asserts
+one compute per key.  A failed compute wakes the waiters and lets one
+of them take over the flight, so a crash does not strand the key.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import zlib
+from typing import Any, Callable
+
+logger = logging.getLogger("repro.serve.cache")
+
+_ENVELOPE_VERSION = 1
+
+
+def _checksum(payload: dict[str, Any]) -> int:
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+class PlanCache:
+    """Keyed JSON store: atomic writes, CRC32 reads, single-flight compute."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.computes = 0
+
+    def _path(self, key: str) -> str:
+        safe = "".join(c for c in key if c.isalnum() or c in "-_")
+        return os.path.join(self.root, f"{safe}.json")
+
+    # -- plain get/put ---------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload, or None on miss *or detected corruption*."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self._quarantine(path, "unreadable")
+            return None
+        payload = envelope.get("payload") if isinstance(envelope, dict) else None
+        if not isinstance(payload, dict) or envelope.get("crc32") != _checksum(payload):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        envelope = {
+            "version": _ENVELOPE_VERSION,
+            "key": key,
+            "crc32": _checksum(payload),
+            "payload": payload,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _quarantine(self, path: str, why: str) -> None:
+        """Move a damaged entry aside (a miss, loudly) so it recomputes."""
+        self.corrupt += 1
+        self.misses += 1
+        logger.warning("cache entry %s is corrupt (%s); quarantining", path, why)
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:  # pragma: no cover - racing quarantines both lose safely
+            pass
+
+    # -- single-flight ---------------------------------------------------------
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], dict[str, Any]],
+        *,
+        wait_timeout_s: float | None = None,
+    ) -> tuple[dict[str, Any], str]:
+        """The payload for ``key``, computing it at most once concurrently.
+
+        Returns ``(payload, how)`` where ``how`` is ``"hit"``,
+        ``"computed"`` or ``"joined"`` (waited on another thread's
+        flight).  A compute that raises releases the flight and
+        propagates; waiters whose flight died retry (one of them becomes
+        the new computer).  ``wait_timeout_s`` bounds each wait so a
+        wedged computer cannot strand its followers past their deadline
+        (raises ``TimeoutError``).
+        """
+        joined = False
+        while True:
+            cached = self.get(key)
+            if cached is not None:
+                return cached, "joined" if joined else "hit"
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = threading.Event()
+                    self._inflight[key] = flight
+                    mine = True
+                else:
+                    mine = False
+            if mine:
+                try:
+                    # Double-check: another flight may have landed between
+                    # our miss and our claim; never compute a present key.
+                    cached = self.get(key)
+                    if cached is not None:
+                        return cached, "hit"
+                    payload = compute()
+                    self.computes += 1
+                    self.put(key, payload)
+                    return payload, "computed"
+                finally:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.set()
+            else:
+                joined = True
+                if not flight.wait(wait_timeout_s):
+                    raise TimeoutError(
+                        f"timed out waiting for in-flight compute of {key}"
+                    )
+                # Loop: usually a hit now; if the computer crashed, the
+                # next iteration claims the flight and computes.

@@ -1,0 +1,147 @@
+"""The stdlib HTTP face of the planner service.
+
+A :class:`ThreadingHTTPServer` adapter over
+:class:`~repro.serve.service.PlannerService` — no web framework, the
+point is that ``repro serve`` runs anywhere the repo does.
+
+Routes:
+
+* ``POST /v1/whatif`` — a JSON :class:`WhatIfQuery`; answers carry the
+  fidelity rung, and 429/503 rejections carry ``Retry-After``.
+* ``GET /healthz`` — liveness + breaker/ladder state (200 always; a
+  degraded service is alive, that is the point of degrading).
+* ``GET /v1/stats`` — the service's counter snapshot as JSON.
+* ``GET /metrics`` — Prometheus text exposition.
+
+``make_server`` binds (port 0 = ephemeral, for tests), ``run_daemon``
+blocks serving until interrupted, ``start_in_thread`` backgrounds it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .service import PlannerService, ServeResponse
+
+logger = logging.getLogger("repro.serve.http")
+
+_MAX_BODY_BYTES = 64 * 1024
+
+
+class PlannerHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns a :class:`PlannerService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: PlannerService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def shutdown_service(self) -> None:
+        """Stop accepting, close the socket, shut the worker pool down."""
+        self.service.close()
+        self.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlannerHTTPServer
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        if self.path == "/healthz":
+            service = self.server.service
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "breaker": service.breaker.state,
+                    "ladder_floor": service.stats()["ladder_floor"],
+                },
+            )
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.server.service.stats())
+        elif self.path == "/metrics":
+            text = self.server.service.metrics.snapshot().to_prometheus()
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        if self.path != "/v1/whatif":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body too large"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"invalid JSON: {exc}"})
+            return
+        response = self.server.service.handle(payload)
+        self._send_answer(response)
+
+    # -- responses -------------------------------------------------------------
+
+    def _send_answer(self, response: ServeResponse) -> None:
+        headers = {}
+        if response.status in (429, 503) and response.retry_after_s > 0:
+            # Ceil to keep the client honest: retrying early re-sheds.
+            headers["Retry-After"] = str(max(1, int(response.retry_after_s + 0.999)))
+        self._send_json(response.status, response.to_payload(), headers)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+def make_server(
+    service: PlannerService, host: str = "127.0.0.1", port: int = 0
+) -> PlannerHTTPServer:
+    """Bind the service to ``host:port`` (0 = ephemeral, for tests)."""
+    return PlannerHTTPServer((host, port), service)
+
+
+def start_in_thread(server: PlannerHTTPServer) -> threading.Thread:
+    """Serve in a daemon thread (tests and the chaos drill)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def run_daemon(server: PlannerHTTPServer) -> None:
+    """Serve until interrupted, then shut the service down cleanly."""
+    host, port = server.server_address[:2]
+    logger.info("planner service listening on http://%s:%s", host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown_service()

@@ -1,0 +1,12 @@
+"""Small dependency-free utilities shared across subsystems.
+
+Only code with *no* repro-internal imports belongs here: these modules
+sit below everything else in the layering (``repro.faults``,
+``repro.runner``, ``repro.runtime`` and ``repro.serve`` all import
+them), so a cycle-free bottom layer is the whole point.
+"""
+
+from .backoff import BackoffPolicy, BackoffError, retry_call
+from .jsonl import JsonlFile
+
+__all__ = ["BackoffError", "BackoffPolicy", "JsonlFile", "retry_call"]

@@ -42,6 +42,7 @@ from repro.fleet import (
     standard_degradations,
     standard_fleet_nodes,
 )
+from repro.fleet.schedulers import FifoScheduler
 from repro.hardware import evaluation_server
 from repro.obs.ledger import load_ledger
 
@@ -282,6 +283,87 @@ def trace_strategy(with_pins=True, max_size=18):
         max_size=max_size,
         unique_by=lambda spec: spec.job_id,
     )
+
+
+class PoisonScheduler(FifoScheduler):
+    """FIFO that raises on jobs whose id starts with ``bad`` at one hook."""
+
+    name = "poison"
+
+    def __init__(self, where="order"):
+        self.where = where
+
+    def _maybe_boom(self, hook, jobs):
+        if self.where == hook and any(
+            state.spec.job_id.startswith("bad") for state in jobs
+        ):
+            raise RuntimeError("poisoned job")
+
+    def order(self, queue, now, nodes, oracle):
+        self._maybe_boom("order", queue)
+        return super().order(queue, now, nodes, oracle)
+
+    def place(self, job, free_nodes, now, oracle):
+        self._maybe_boom("place", [job])
+        return super().place(job, free_nodes, now, oracle)
+
+
+class TestSchedulerContainment:
+    """A raising scheduler callback quarantines the job, not the loop."""
+
+    def _drain(self, scheduler, n_nodes=1):
+        fleet = Fleet(stub_nodes(n_nodes), scheduler, oracle=StubOracle())
+        fleet.submit(job("ok-1", submit_at=0.0))
+        fleet.submit(job("bad", submit_at=1.0))
+        fleet.submit(job("ok-2", submit_at=2.0))
+        return fleet.drain()
+
+    def _assert_contained(self, outcome):
+        by_id = {result.spec.job_id: result for result in outcome.results}
+        assert by_id["ok-1"].completed and by_id["ok-2"].completed
+        assert by_id["bad"].state == "rejected"
+        assert "scheduler error" in by_id["bad"].reason
+        errors = [e for e in outcome.events if e.kind == "scheduler_error"]
+        assert errors and errors[0].job_id == "bad"
+
+    def test_order_exception_quarantines_offender(self):
+        self._assert_contained(self._drain(PoisonScheduler("order")))
+
+    def test_place_exception_quarantines_offender(self):
+        self._assert_contained(self._drain(PoisonScheduler("place")))
+
+    def test_preempt_victim_exception_quarantines_offender(self):
+        class PoisonPreempt(FifoScheduler):
+            name = "poison-preempt"
+            preemptive = True
+
+            def preempt_victim(self, job, busy_nodes, now, oracle):
+                if job.spec.job_id.startswith("bad"):
+                    raise RuntimeError("poisoned job")
+                return None
+
+        self._assert_contained(self._drain(PoisonPreempt()))
+
+    def test_combination_failure_falls_back_to_arrival_order(self):
+        class ComboPoison(FifoScheduler):
+            name = "combo-poison"
+
+            def order(self, queue, now, nodes, oracle):
+                if len(queue) >= 2:
+                    raise RuntimeError("needs the pair to blow up")
+                return super().order(queue, now, nodes, oracle)
+
+        fleet = Fleet(stub_nodes(1), ComboPoison(), oracle=StubOracle())
+        # "a" occupies the node while "b" and "c" pile up in the queue,
+        # so order() eventually sees the raising pair.
+        fleet.submit(job("a", submit_at=0.0))
+        fleet.submit(job("b", submit_at=1.0))
+        fleet.submit(job("c", submit_at=2.0))
+        outcome = fleet.drain()
+        # No single offender: nothing is quarantined, everything still runs.
+        assert outcome.metrics["completed"] == 3
+        errors = [e for e in outcome.events if e.kind == "scheduler_error"]
+        assert errors and "no single offender" in errors[0].detail
 
 
 class TestConservationProperty:

@@ -128,6 +128,36 @@ class TestRunLedger:
         with pytest.raises(LedgerError):
             load_ledger(str(tmp_path / "absent.jsonl"))
 
+    def test_truncated_tail_skipped_with_counter(self, tmp_path):
+        """A crash mid-append leaves a torn last line; reads survive it."""
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(self._entry("good", 1.0))
+        with open(path, "a") as handle:
+            handle.write('{"label": "torn", "pol')  # no trailing newline
+        entries = ledger.entries()
+        assert [entry.label for entry in entries] == ["good"]
+        assert ledger.truncated_tail == 1
+        assert ledger.skipped == 0  # torn tail is not interior corruption
+
+    def test_truncated_interior_line_counts_as_skipped(self, tmp_path):
+        """Only the *final* incomplete line is a torn tail."""
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append(self._entry("a", 1.0))
+        with open(path, "a") as handle:
+            handle.write('{"half\n')  # complete line, corrupt content
+        ledger.append(self._entry("b", 2.0))
+        assert [entry.label for entry in ledger.entries()] == ["a", "b"]
+        assert ledger.skipped == 1
+        assert ledger.truncated_tail == 0
+
+    def test_fsync_append_round_trips(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"), fsync=True)
+        assert ledger.fsync
+        ledger.append(self._entry("durable", 1.0))
+        assert [entry.label for entry in ledger.entries()] == ["durable"]
+
 
 class TestSweepRecording:
     def test_records_computed_not_cached(self, tmp_path, server):

@@ -1,0 +1,195 @@
+"""The concurrency-safe plan cache (repro.serve.cache).
+
+The load-bearing properties: N racing threads never compute the same
+key twice (single-flight), a bit-flipped entry is detected and
+quarantined instead of served, writes are atomic, and a crashed
+computer hands its flight to a waiter instead of stranding the key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.serve import PlanCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PlanCache(str(tmp_path / "cache"))
+
+
+PAYLOAD = {"feasible": True, "metrics": {"iteration_time": 12.5}}
+
+
+class TestGetPut:
+    def test_round_trip(self, cache):
+        cache.put("abc123", PAYLOAD)
+        assert cache.get("abc123") == PAYLOAD
+        assert cache.hits == 1
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_put_overwrites_atomically(self, cache):
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        # No temp droppings left behind by the atomic replace.
+        leftovers = [n for n in os.listdir(cache.root) if ".tmp." in n]
+        assert leftovers == []
+
+    def test_keys_are_sanitised_to_safe_filenames(self, cache):
+        cache.put("../../etc/passwd", {"v": 1})
+        names = os.listdir(cache.root)
+        assert names == ["etcpasswd.json"]
+
+
+class TestCorruption:
+    def _flip_byte(self, cache, key):
+        path = os.path.join(cache.root, f"{key}.json")
+        with open(path, "r+b") as handle:
+            offset = os.path.getsize(path) // 2
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_flipped_byte_is_a_miss_not_an_answer(self, cache):
+        cache.put("deadbeef", PAYLOAD)
+        self._flip_byte(cache, "deadbeef")
+        assert cache.get("deadbeef") is None
+        assert cache.corrupt == 1
+        # Quarantined aside, so the next get is a clean miss.
+        assert os.path.exists(os.path.join(cache.root, "deadbeef.json.corrupt"))
+        assert cache.get("deadbeef") is None
+
+    def test_checksum_mismatch_detected(self, cache):
+        cache.put("k", PAYLOAD)
+        path = os.path.join(cache.root, "k.json")
+        envelope = json.load(open(path))
+        envelope["payload"]["metrics"]["iteration_time"] = 1.0  # tampered
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+    def test_non_envelope_json_detected(self, cache):
+        os.makedirs(cache.root, exist_ok=True)
+        with open(os.path.join(cache.root, "k.json"), "w") as handle:
+            handle.write('{"just": "json"}')
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+
+class TestSingleFlight:
+    def test_n_threads_compute_each_key_exactly_once(self, cache):
+        n_threads, keys = 16, ("key-a", "key-b", "key-c")
+        barrier = threading.Barrier(n_threads)
+        computed = []
+        lock = threading.Lock()
+        results = []
+
+        def compute_for(key):
+            def compute():
+                with lock:
+                    computed.append(key)
+                return {"key": key}
+
+            return compute
+
+        def worker(index):
+            key = keys[index % len(keys)]
+            barrier.wait()
+            payload, how = cache.get_or_compute(
+                key, compute_for(key), wait_timeout_s=10.0
+            )
+            with lock:
+                results.append((key, payload["key"], how))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(results) == n_threads
+        assert all(key == answered for key, answered, _ in results)
+        assert sorted(computed) == sorted(keys), (
+            f"single-flight violated: {computed}"
+        )
+        assert cache.computes == len(keys)
+
+    def test_waiters_join_the_computers_result(self, cache):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_compute():
+            entered.set()
+            release.wait(5.0)
+            return dict(PAYLOAD)
+
+        hows = []
+
+        def leader():
+            _, how = cache.get_or_compute("k", slow_compute)
+            hows.append(how)
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        assert entered.wait(5.0)
+
+        def follower_compute():
+            raise AssertionError("follower must never compute")
+
+        follower = threading.Thread(
+            target=lambda: hows.append(
+                cache.get_or_compute("k", follower_compute, wait_timeout_s=5.0)[1]
+            )
+        )
+        follower.start()
+        release.set()
+        thread.join()
+        follower.join()
+        assert sorted(hows) == ["computed", "joined"]
+
+    def test_crashed_computer_hands_over_the_flight(self, cache):
+        attempts = []
+
+        def crash_then_succeed():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("computer died")
+            return dict(PAYLOAD)
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", crash_then_succeed)
+        payload, how = cache.get_or_compute("k", crash_then_succeed)
+        assert payload == PAYLOAD
+        assert how == "computed"
+        assert len(attempts) == 2
+
+    def test_wait_timeout_raises_instead_of_hanging(self, cache):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def wedged():
+            entered.set()
+            release.wait(10.0)
+            return dict(PAYLOAD)
+
+        thread = threading.Thread(
+            target=lambda: cache.get_or_compute("k", wedged)
+        )
+        thread.start()
+        assert entered.wait(5.0)
+        with pytest.raises(TimeoutError):
+            cache.get_or_compute("k", wedged, wait_timeout_s=0.05)
+        release.set()
+        thread.join()

@@ -1,0 +1,125 @@
+"""The shared retry/backoff helper (repro.util.backoff).
+
+Storage spill I/O, the sweep runner and the planner service all retry
+through this one vocabulary, so its schedule arithmetic and its loop
+semantics are pinned here: exponential growth, the cap, full-jitter
+bounds, bounded attempts, and the final-failure re-raise contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import BackoffError, BackoffPolicy, retry_call
+
+
+class TestBackoffPolicy:
+    def test_unjittered_delays_grow_exponentially(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_attempts=4, jitter="none")
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = BackoffPolicy(
+            base_s=1.0, factor=10.0, max_attempts=5, jitter="none", max_delay_s=3.0
+        )
+        assert list(policy.delays()) == pytest.approx([1.0, 3.0, 3.0, 3.0])
+
+    def test_single_attempt_policy_never_sleeps(self):
+        policy = BackoffPolicy(max_attempts=1, jitter="none")
+        assert policy.retries == 0
+        assert list(policy.delays()) == []
+
+    @given(attempt=st.integers(min_value=0, max_value=20), seed=st.integers())
+    def test_full_jitter_is_bounded_by_the_raw_delay(self, attempt, seed):
+        policy = BackoffPolicy(base_s=0.01, factor=2.0, max_attempts=30, jitter="full")
+        delay = policy.delay(attempt, random.Random(seed))
+        assert 0.0 <= delay <= policy.raw_delay(attempt)
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = BackoffPolicy(base_s=0.5, max_attempts=6)
+        a = list(policy.delays(random.Random(7)))
+        b = list(policy.delays(random.Random(7)))
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_s": -1.0},
+            {"factor": 0.5},
+            {"max_attempts": 0},
+            {"jitter": "half"},
+            {"max_delay_s": -0.1},
+        ],
+    )
+    def test_malformed_policies_rejected(self, kwargs):
+        with pytest.raises(BackoffError):
+            BackoffPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(BackoffError):
+            BackoffPolicy().raw_delay(-1)
+
+
+class TestRetryCall:
+    def _flaky(self, failures, exc=OSError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"boom {calls['n']}")
+            return calls["n"]
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        policy = BackoffPolicy(base_s=0.1, max_attempts=4, jitter="none")
+        result = retry_call(fn, policy=policy, what="flaky", sleep=slept.append)
+        assert result == 3
+        assert calls["n"] == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_exhaustion_reraises_the_last_failure(self):
+        fn, calls = self._flaky(10)
+        policy = BackoffPolicy(base_s=0.0, max_attempts=3, jitter="none")
+        with pytest.raises(OSError, match="boom 3"):
+            retry_call(fn, policy=policy, what="flaky", sleep=lambda _: None)
+        assert calls["n"] == 3
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        fn, calls = self._flaky(1, exc=KeyError)
+        policy = BackoffPolicy(max_attempts=5, jitter="none")
+        with pytest.raises(KeyError):
+            retry_call(fn, policy=policy, what="flaky", sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_failed_attempt(self):
+        fn, _ = self._flaky(2)
+        seen = []
+        policy = BackoffPolicy(base_s=0.0, max_attempts=4, jitter="none")
+        retry_call(
+            fn,
+            policy=policy,
+            what="flaky",
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(1, "boom 1"), (2, "boom 2")]
+
+    def test_custom_retry_on_types(self):
+        fn, calls = self._flaky(1, exc=RuntimeError)
+        policy = BackoffPolicy(base_s=0.0, max_attempts=3, jitter="none")
+        result = retry_call(
+            fn,
+            policy=policy,
+            what="flaky",
+            retry_on=(RuntimeError,),
+            sleep=lambda _: None,
+        )
+        assert result == 2
+        assert calls["n"] == 2
