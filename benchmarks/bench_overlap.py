@@ -1,0 +1,76 @@
+"""Bench: the stall-free optimizer frontier (``ext_overlap``).
+
+One payload lands in ``benchmarks/results/BENCH_overlap.json``: the
+simulated per-preset iteration times for synchronous Ratel vs the
+ZenFlow/GreedySnake reshapes of the same plan, the realized speedups,
+and the runtime fidelity numbers (measured loss divergence and the
+bit-exactness flags for K=0 async and overlap).  The simulated seconds
+move whenever hardware calibration or the overlap model is retuned, so
+the diff gate reads them through the ``BENCH_overlap.json:*`` allowlist
+entry; the bench's own assertions — both stall-free modes beat sync,
+K=0/overlap bit-exact — gate the properties that matter.
+
+Runs under the ``bench_smoke`` marker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import ext_overlap
+
+from conftest import run_once, write_bench_json
+
+#: The whole frontier is a handful of cached simulations plus four tiny
+#: training runs; a minute of wall is already pathological.
+MAX_WALL_S = 120.0
+
+
+@pytest.mark.bench_smoke
+def test_overlap_frontier(benchmark, emit):
+    started = time.perf_counter()
+    sim, frontier = run_once(benchmark, ext_overlap.run)
+    wall = time.perf_counter() - started
+    emit([sim, frontier])
+
+    sim_rows = {row[0]: row[1:4] for row in sim.rows}
+    modes = {row[0]: row[1:] for row in frontier.rows}
+    write_bench_json(
+        "overlap",
+        {
+            "sim_s_per_iter": {
+                server: {
+                    "sync": sync,
+                    "zenflow": zen,
+                    "greedysnake": snake,
+                }
+                for server, (sync, zen, snake) in sim_rows.items()
+            },
+            "frontier": {
+                mode: {
+                    "speedup": speedup,
+                    "max_loss_divergence": divergence,
+                    "bit_exact": bit_exact == "yes",
+                    "max_staleness_steps": staleness,
+                }
+                for mode, (speedup, divergence, bit_exact, staleness) in modes.items()
+            },
+            "wall_s": wall,
+        },
+    )
+
+    # The acceptance gate: both stall-free modes beat synchronous Ratel
+    # on at least one preset (in fact every preset they fit on).
+    beats_async = [s for s, (sync, zen, _g) in sim_rows.items() if zen == zen and zen < sync]
+    beats_overlap = [s for s, (sync, _z, snake) in sim_rows.items() if snake == snake and snake < sync]
+    assert beats_async, "ZenFlow beat sync Ratel on no preset"
+    assert beats_overlap, "GreedySnake beat sync Ratel on no preset"
+
+    # Fidelity: zero algorithmic cost where the design promises it.
+    assert modes["async K=0"][2] == "yes"
+    assert modes["overlap (GreedySnake)"][2] == "yes"
+    assert modes["async K=2 (ZenFlow)"][1] > 0  # measured, not argued
+
+    assert wall < MAX_WALL_S, f"frontier took {wall:.1f} s (bar {MAX_WALL_S:.0f} s)"

@@ -14,6 +14,7 @@ from .fastdit import FastDiTPolicy
 from .flashneuron import FlashNeuronPolicy
 from .g10 import G10ActivationPolicy, G10Policy
 from .megatron import MegatronPolicy
+from .overlap import GreedySnakePolicy, ZenFlowPolicy, policy_for_mode
 
 __all__ = [
     "CapuchinPolicy",
@@ -25,5 +26,8 @@ __all__ = [
     "FlashNeuronPolicy",
     "G10ActivationPolicy",
     "G10Policy",
+    "GreedySnakePolicy",
     "MegatronPolicy",
+    "ZenFlowPolicy",
+    "policy_for_mode",
 ]

@@ -54,8 +54,11 @@ from repro.fleet import SCHEDULERS
 from repro.baselines import (
     ColossalAIPolicy,
     FlashNeuronPolicy,
+    GreedySnakePolicy,
+    ZenFlowPolicy,
     ZeroInfinityPolicy,
     ZeroOffloadPolicy,
+    policy_for_mode,
 )
 from repro.core import RatelPolicy
 from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server, fmt_bytes
@@ -78,6 +81,8 @@ _SYSTEMS = {
     "zero-offload": ZeroOffloadPolicy,
     "colossal-ai": ColossalAIPolicy,
     "flashneuron": FlashNeuronPolicy,
+    "zenflow": ZenFlowPolicy,
+    "greedysnake": GreedySnakePolicy,
 }
 
 
@@ -349,10 +354,23 @@ def cmd_maxsize(args, out) -> int:
     return 0
 
 
+def _system_policy(name: str, optimizer_mode: str | None):
+    """Build one sweep policy; ``--optimizer-mode`` reshapes plain ratel.
+
+    The stall-free variants are Ratel's own plan with a different
+    optimizer leg, so the substitution applies only to the ``ratel``
+    system — baselines keep their published designs.
+    """
+    if optimizer_mode and name == "ratel":
+        return policy_for_mode(optimizer_mode)
+    return _SYSTEMS[name]()
+
+
 def cmd_sweep(args, out) -> int:
-    RunOptions.from_args(args).apply()
+    opts = RunOptions.from_args(args)
+    opts.apply()
     server = _server_from(args)
-    policies = [_SYSTEMS[name]() for name in args.systems]
+    policies = [_system_policy(name, opts.optimizer_mode) for name in args.systems]
     points = [
         SweepPoint.evaluate(policy, llm(model), batch, server)
         for model in args.models
@@ -432,6 +450,7 @@ def cmd_fleet(args, out) -> int:
         seed=args.seed,
         ledger=opts.ledger,
         degrade=opts.adapt,
+        optimizer_mode=opts.optimizer_mode,
     )
     metrics = outcome.metrics
     print(
@@ -473,8 +492,11 @@ def cmd_experiments(args, out) -> int:
     run_all = "all" in ids
     ran = 0
     for module in exp.ALL_MODULES:
-        module_id = module.__name__.split(".")[-1].split("_")[0]
-        if not run_all and module_id not in ids:
+        # Address a module by its short id ("fig6") or, where several
+        # share a prefix ("ext_*"), by its full name ("ext_overlap").
+        name = module.__name__.split(".")[-1]
+        module_id = name.split("_")[0]
+        if not run_all and module_id not in ids and name not in ids:
             continue
         outcome = module.run()
         results = [outcome] if isinstance(outcome, ExperimentResult) else outcome
@@ -484,7 +506,8 @@ def cmd_experiments(args, out) -> int:
         ran += 1
     if ran == 0:
         known = sorted(
-            module.__name__.split(".")[-1].split("_")[0] for module in exp.ALL_MODULES
+            {module.__name__.split(".")[-1].split("_")[0] for module in exp.ALL_MODULES}
+            | {module.__name__.split(".")[-1] for module in exp.ALL_MODULES}
         )
         print(f"no experiment matched {sorted(ids)}; known ids: {known}", file=out)
         return 1
@@ -583,9 +606,10 @@ def cmd_obs(args, out) -> int:
 def cmd_obs_report(args, out) -> int:
     # The handler records to --ledger itself (below, cache hits included),
     # so the runner must not also auto-append the evaluation.
-    RunOptions.from_args(args).apply(attach_ledger=False)
+    opts = RunOptions.from_args(args)
+    opts.apply(attach_ledger=False)
     server = _server_from(args)
-    policy = _SYSTEMS[args.system]()
+    policy = _system_policy(args.system, opts.optimizer_mode)
     sweep = runner.default_sweep()
     outcome = sweep.evaluate(policy, llm(args.model), args.batch, server, detail=True)
     if not outcome.feasible:

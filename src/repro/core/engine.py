@@ -27,7 +27,13 @@ from repro.sim.engine import Event
 from repro.sim.resources import Machine, RateChannel, Semaphore
 from repro.sim.trace import Trace
 
-from .schedule import BlockTask, IterationSchedule, OptimizerMode, StatesLocation
+from .schedule import (
+    DECOUPLED_MODES,
+    BlockTask,
+    IterationSchedule,
+    OptimizerMode,
+    StatesLocation,
+)
 
 if TYPE_CHECKING:  # import would cycle: faults.chaos imports core.policy
     from repro.faults import FaultSchedule
@@ -50,11 +56,24 @@ class IterationResult:
     server: ServerSpec
     trace: Trace
     stage_windows: dict[str, tuple[float, float]]
+    #: Seconds of the optimizer stage hidden under the *adjacent*
+    #: iteration's compute (decoupled modes only).  The stage windows
+    #: keep the raw, un-overlapped timeline; the steady-state iteration
+    #: time subtracts this credit.
+    hidden_s: float = 0.0
 
     @property
     def iteration_time(self) -> float:
-        """End-to-end seconds for the iteration."""
-        return max(end for _start, end in self.stage_windows.values())
+        """Steady-state seconds per iteration.
+
+        For the synchronous modes this is simply the end of the last
+        stage.  For the decoupled modes (``ASYNC_BOUNDED`` /
+        ``OVERLAP_STEP``) the optimizer stage overlaps the adjacent
+        iteration, so the credit computed by the engine is subtracted —
+        steady state ``max(compute, optimizer)`` for async, forward-hidden
+        for step-overlap.
+        """
+        return max(end for _start, end in self.stage_windows.values()) - self.hidden_s
 
     def stage_time(self, stage: str) -> float:
         """Duration of one stage window (0 if the stage is absent)."""
@@ -161,6 +180,7 @@ def run_iteration(
         server=server,
         trace=machine.trace,
         stage_windows=run.stage_windows,
+        hidden_s=run.hidden_s,
     )
 
 
@@ -191,6 +211,9 @@ class _IterationRun:
         self.ssd = machine.ssd
         self.cpu_adam = machine.cpu_adam
         self.stage_windows: dict[str, tuple[float, float]] = {}
+        #: Optimizer seconds the decoupled modes hide under the adjacent
+        #: iteration (0 for the synchronous modes).
+        self.hidden_s = 0.0
         n = schedule.n_blocks
         self.grad_arrived: list[Event] = [self.sim.event() for _ in range(n)]
         self.states_ready: list[Event] = [self.sim.event() for _ in range(n)]
@@ -229,21 +252,43 @@ class _IterationRun:
         fwd_end = self.sim.now
         self.stage_windows["forward"] = (start, fwd_end)
 
-        active = self.schedule.optimizer_mode in (
+        mode = self.schedule.optimizer_mode
+        active = mode in (
             OptimizerMode.ACTIVE_OPTIMIZED,
             OptimizerMode.ACTIVE_NAIVE,
         )
+        overlap = mode is OptimizerMode.OVERLAP_STEP
         backward_procs = [self.sim.process(self._backward_compute())]
         backward_procs.append(self.sim.process(self._backward_prefetcher()))
         if active and self.run_optimizer:
             backward_procs.extend(self._spawn_active_optimizer())
+        overlap_procs: list[Event] = []
+        if overlap and self.run_optimizer:
+            # GreedySnake keeps Ratel's per-gradient start during
+            # backward, but the backward barrier no longer waits for the
+            # optimizer: the drain tail hides under the next forward.
+            overlap_procs = self._spawn_pipelined_cpu_optimizer(wait_grads=True)
         yield self.sim.all_of(backward_procs)
         bwd_end = self.sim.now
         self.stage_windows["backward"] = (fwd_end, bwd_end)
 
-        if not active and self.run_optimizer:
+        if overlap and self.run_optimizer:
+            yield self.sim.all_of(overlap_procs)
+            tail = self.sim.now - bwd_end
+            if tail > 0:
+                self.stage_windows["optimizer"] = (bwd_end, self.sim.now)
+            # The tail overlaps the *next* iteration's forward: updated
+            # states arrive just before each block's forward reads them.
+            self.hidden_s = min(tail, fwd_end - start)
+        elif not active and self.run_optimizer:
             yield self.sim.all_of(self._spawn_deferred_optimizer())
             self.stage_windows["optimizer"] = (bwd_end, self.sim.now)
+            if mode is OptimizerMode.ASYNC_BOUNDED:
+                # Fully decoupled: the CPU optimizer hides under the whole
+                # next fwd+bwd, so steady state is max(GPU pipeline, CPU
+                # optimizer pipeline).
+                opt_time = self.sim.now - bwd_end
+                self.hidden_s = min(opt_time, bwd_end - start)
 
     # -- forward ---------------------------------------------------------------
 
@@ -313,9 +358,19 @@ class _IterationRun:
     def _backward_compute(self):
         """Backward GPU work, gradient offload, recomputation."""
         grads: list[Event] = []
+        critical = (
+            self.schedule.critical_frac
+            if self.schedule.optimizer_mode is OptimizerMode.ASYNC_BOUNDED
+            else 0.0
+        )
         for block in reversed(self.schedule.blocks):
             yield self._bwd_ready[block.index]
             flops = block.bwd_flops + block.recompute_flops
+            if critical > 0:
+                # ZenFlow's importance-prioritized top-k: the critical
+                # slice updates synchronously on the GPU, right after the
+                # block's backward produced its gradient.
+                flops += GPU_ADAM_FLOPS_PER_PARAM * critical * block.opt_params
             yield from self.gpu.use(flops, f"bwd_b{block.index}", self._gpu_eff)
             if self.schedule.sync_overhead_per_block > 0:
                 yield self.sim.timeout(self.schedule.sync_overhead_per_block)
@@ -341,7 +396,7 @@ class _IterationRun:
         return self._spawn_pipelined_cpu_optimizer(wait_grads=True)
 
     def _spawn_deferred_optimizer(self) -> list[Event]:
-        """Start the separate optimizer stage for deferred modes."""
+        """Start the separate optimizer stage for deferred/decoupled modes."""
         mode = self.schedule.optimizer_mode
         if mode is OptimizerMode.DEFERRED_CPU:
             return self._spawn_pipelined_cpu_optimizer(wait_grads=False)
@@ -349,9 +404,17 @@ class _IterationRun:
             return [self.sim.process(self._optimizer_serial(wait_grads=False))]
         if mode is OptimizerMode.DEFERRED_GPU:
             return [self.sim.process(self._optimizer_gpu())]
+        if mode in DECOUPLED_MODES:
+            # The critical fraction already updated on the GPU during
+            # backward; the decoupled CPU workers handle the rest.
+            return self._spawn_pipelined_cpu_optimizer(
+                wait_grads=False, scale=1.0 - self.schedule.critical_frac
+            )
         raise ValueError(f"unexpected deferred optimizer mode {mode}")
 
-    def _spawn_pipelined_cpu_optimizer(self, *, wait_grads: bool) -> list[Event]:
+    def _spawn_pipelined_cpu_optimizer(
+        self, *, wait_grads: bool, scale: float = 1.0
+    ) -> list[Event]:
         """Reader / CPU / writer workers over blocks in backward order.
 
         This is Fig. 3b: the SSD reads of block (i-1) overlap the CPU
@@ -364,37 +427,39 @@ class _IterationRun:
 
         def reader():
             for block in reversed(self.schedule.blocks):
-                if block.opt_params <= 0:
+                if block.opt_params <= 0 or scale <= 0:
                     self.states_ready[block.index].succeed()
                     continue
                 yield window.acquire()
                 if on_ssd:
                     yield from self._ssd_read(
-                        block.state_read_bytes, f"opt_read_b{block.index}"
+                        scale * block.state_read_bytes, f"opt_read_b{block.index}"
                     )
                 self.states_ready[block.index].succeed()
 
         def cpu_worker():
             for block in reversed(self.schedule.blocks):
-                if block.opt_params <= 0:
+                if block.opt_params <= 0 or scale <= 0:
                     self.updated[block.index].succeed()
                     continue
                 waits = [self.states_ready[block.index]]
                 if wait_grads:
                     waits.append(self.grad_arrived[block.index])
                 yield self.sim.all_of(waits)
-                yield from self.cpu_adam.use(block.opt_params, f"adam_b{block.index}")
+                yield from self.cpu_adam.use(
+                    scale * block.opt_params, f"adam_b{block.index}"
+                )
                 window.release()
                 self.updated[block.index].succeed()
 
         def writer():
             for block in reversed(self.schedule.blocks):
-                if block.opt_params <= 0:
+                if block.opt_params <= 0 or scale <= 0:
                     continue
                 yield self.updated[block.index]
                 if on_ssd:
                     yield from self._ssd_write(
-                        block.state_write_bytes, f"opt_write_b{block.index}"
+                        scale * block.state_write_bytes, f"opt_write_b{block.index}"
                     )
 
         return [

@@ -40,6 +40,18 @@ class OptimizerMode(enum.Enum):
     * ``DEFERRED_GPU``     — G10/FlashNeuron: Adam runs on the GPU after
       backward, streaming model states over PCIe when they are not
       GPU-resident.
+    * ``ASYNC_BOUNDED``    — ZenFlow-style stall-free asynchronous
+      updates: the CPU optimizer runs fully decoupled from the GPU
+      pipeline, applying gradients up to ``stale_k`` steps late.  A
+      ``critical_frac`` slice of each block's parameters is updated
+      synchronously on the GPU (the importance-prioritized top-k); in
+      steady state the iteration rate is bound by the slower of the two
+      pipelines, not their sum.
+    * ``OVERLAP_STEP``     — GreedySnake-style step-overlap: the
+      optimizer runs after backward but hides under the *next*
+      iteration's forward (each block's states are updated just before
+      that block's next forward reads them), so there is overlap but no
+      staleness.
     """
 
     ACTIVE_OPTIMIZED = "active_optimized"
@@ -47,6 +59,15 @@ class OptimizerMode(enum.Enum):
     DEFERRED_CPU = "deferred_cpu"
     DEFERRED_CPU_SERIAL = "deferred_cpu_serial"
     DEFERRED_GPU = "deferred_gpu"
+    ASYNC_BOUNDED = "async_bounded"
+    OVERLAP_STEP = "overlap_step"
+
+
+#: The optimizer modes that run the CPU optimizer off the iteration's
+#: critical path (step i's update overlaps step i+1's compute).
+DECOUPLED_MODES = frozenset(
+    {OptimizerMode.ASYNC_BOUNDED, OptimizerMode.OVERLAP_STEP}
+)
 
 
 @dataclass(frozen=True)
@@ -103,6 +124,15 @@ class IterationSchedule:
     ssd_efficiency: float = 1.0
     #: Same for the GPU<->host PCIe transfers.
     pcie_efficiency: float = 1.0
+    #: Staleness bound for ``ASYNC_BOUNDED``: gradients may be applied up
+    #: to this many steps after the backward that produced them.  0 keeps
+    #: every update inside its own step (bit-identical to synchronous).
+    stale_k: int = 0
+    #: ``ASYNC_BOUNDED`` only: fraction of each block's parameters whose
+    #: gradients are important enough to update *synchronously* on the
+    #: GPU (ZenFlow's prioritized top-k); the rest go to the decoupled
+    #: CPU optimizer.
+    critical_frac: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.blocks:
@@ -115,6 +145,14 @@ class IterationSchedule:
             value = getattr(self, field_name)
             if not 0 < value <= 1:
                 raise ValueError(f"{field_name} must be in (0, 1], got {value}")
+        if self.stale_k < 0:
+            raise ValueError(f"stale_k must be >= 0, got {self.stale_k}")
+        if not 0 <= self.critical_frac < 1:
+            raise ValueError(
+                f"critical_frac must be in [0, 1), got {self.critical_frac}"
+            )
+        if self.critical_frac > 0 and self.optimizer_mode is not OptimizerMode.ASYNC_BOUNDED:
+            raise ValueError("critical_frac only applies to ASYNC_BOUNDED schedules")
 
     @property
     def n_blocks(self) -> int:

@@ -1,0 +1,154 @@
+"""Extension: the stall-free optimizer frontier (speed vs staleness cost).
+
+Ratel's CPU Adam is synchronous: every iteration stalls until the
+optimizer drain completes.  ZenFlow (bounded-staleness asynchronous
+updates) and GreedySnake (optimizer-step overlap with the next forward)
+both remove that stall — at an algorithmic price the papers can only
+argue about.  This experiment measures both sides on one frontier:
+
+* **speed** — the simulator predicts per-iteration time for synchronous
+  Ratel vs the :class:`~repro.baselines.ZenFlowPolicy` /
+  :class:`~repro.baselines.GreedySnakePolicy` reshapes of the same
+  Algorithm-1 plan, across hardware presets;
+* **fidelity** — the functional runtime trains one small GPT per
+  ``optimizer_mode`` on an identical data stream and reports the
+  measured loss divergence against the synchronous oracle.  ``async``
+  with K=0 and ``overlap`` must be *bit-identical* to sync (asserted);
+  K>=1 shows the real divergence bounded staleness buys its speed with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import GreedySnakePolicy, ZenFlowPolicy
+from repro.core import RatelPolicy
+from repro.hardware import RTX_3090, evaluation_server
+from repro.models import llm
+
+from .common import evaluate_point
+
+#: (label, server) hardware presets for the simulated frontier.
+PRESETS = (
+    ("4090/12ssd", lambda: evaluation_server()),
+    ("4090/4ssd", lambda: evaluation_server(n_ssds=4)),
+    ("3090/8ssd", lambda: evaluation_server(gpu=RTX_3090, n_ssds=8)),
+)
+
+#: The staleness bound the async rows of the frontier use.
+STALE_K = 2
+CRITICAL_FRAC = 0.25
+
+
+def _train_runtime(mode: str, steps: int, **mode_kwargs) -> tuple[list[float], int]:
+    """Train the tiny fixture GPT under one mode; (losses, max staleness)."""
+    from repro.runtime import (
+        CrossEntropyLoss,
+        GPTModel,
+        RatelOptimizer,
+        ratel_hook,
+        ratel_init,
+    )
+
+    data_rng = np.random.default_rng(0)
+    with ratel_init(
+        gpu_capacity=1e9,
+        host_capacity=1e9,
+        nvme_capacity=1e9,
+        optimizer_mode=mode,
+        **mode_kwargs,
+    ):
+        model = GPTModel(31, 16, 2, 2, 8, np.random.default_rng(7))
+        runtime = ratel_hook(model)
+        RatelOptimizer(model, runtime, lr=1e-2)
+        cross_entropy = CrossEntropyLoss()
+        losses = []
+        for _ in range(steps):
+            x = data_rng.integers(0, 31, size=(2, 8))
+            y = data_rng.integers(0, 31, size=(2, 8))
+            losses.append(runtime.train_step(lambda: cross_entropy(model(x), y)))
+        runtime.flush_pending()
+        staleness = max(
+            (applied - produced for _n, produced, applied in runtime.staleness_log),
+            default=0,
+        )
+        return losses, staleness
+
+
+def run(model_name: str = "13B", batch: int = 8, steps: int = 5) -> list[ExperimentResult]:
+    """The two frontier tables: simulated speed and measured fidelity."""
+    config = llm(model_name)
+    sim = ExperimentResult(
+        experiment="ext_overlap_sim",
+        title=f"stall-free optimizer: simulated s/iteration, {model_name} batch {batch}",
+        columns=["server", "Ratel(sync)", "ZenFlow(K=2)", "GreedySnake", "best speedup"],
+    )
+    sync_time: dict[str, float] = {}
+    async_time: dict[str, float] = {}
+    for label, make_server in PRESETS:
+        server = make_server()
+        times = []
+        for policy in (
+            RatelPolicy(),
+            ZenFlowPolicy(stale_k=STALE_K, critical_frac=CRITICAL_FRAC),
+            GreedySnakePolicy(),
+        ):
+            outcome = evaluate_point(policy, config, batch, server)
+            times.append(outcome.iteration_time if outcome.feasible else float("nan"))
+        sync_time[label], async_time[label] = times[0], times[1]
+        best = min(t for t in times[1:] if t == t) if any(t == t for t in times[1:]) else float("nan")
+        sim.add_row(label, *times, sync_time[label] / best if best == best else float("nan"))
+    sim.note(
+        "both stall-free reshapes of Ratel's own plan beat the synchronous "
+        "schedule wherever they fit: ZenFlow hides the whole CPU-optimizer "
+        "pipeline under the next iteration, GreedySnake hides the "
+        "post-backward drain tail under the next forward"
+    )
+
+    oracle, _ = _train_runtime("sync", steps)
+    frontier = ExperimentResult(
+        experiment="ext_overlap",
+        title="stall-free optimizer frontier: predicted speedup vs measured "
+        f"loss divergence ({steps}-step runtime oracle)",
+        columns=[
+            "mode", "sim speedup (4090/12ssd)", "max |loss - sync|",
+            "bit-exact", "max staleness (steps)",
+        ],
+    )
+    base = sync_time["4090/12ssd"]
+    modes = (
+        ("sync (Ratel)", "sync", {}, 1.0),
+        ("async K=0", "async", {"stale_k": 0}, 1.0),
+        (
+            f"async K={STALE_K} (ZenFlow)",
+            "async",
+            {"stale_k": STALE_K, "critical_frac": CRITICAL_FRAC},
+            base / async_time["4090/12ssd"],
+        ),
+        ("overlap (GreedySnake)", "overlap", {}, None),
+    )
+    for row_label, mode, kwargs, speedup in modes:
+        losses, staleness = _train_runtime(mode, steps, **kwargs)
+        if speedup is None:  # GreedySnake: look the sim row up
+            greedy = evaluate_point(GreedySnakePolicy(), config, batch, evaluation_server())
+            speedup = base / greedy.iteration_time
+        divergence = max(abs(a - b) for a, b in zip(losses, oracle))
+        bit_exact = losses == oracle
+        frontier.add_row(
+            row_label,
+            speedup,
+            divergence,
+            "yes" if bit_exact else "no",
+            staleness,
+        )
+        if mode != "async" or not kwargs.get("stale_k"):
+            # sync, K=0 async and overlap are staleness-free by
+            # construction; a mismatch means the engine is broken.
+            assert bit_exact, f"{row_label} drifted from the synchronous oracle"
+    frontier.note(
+        "K=0 async and overlap match the synchronous oracle bit-exactly "
+        "(zero algorithmic cost for GreedySnake's overlap); K>=1 buys "
+        "ZenFlow's larger speedup with the measured divergence above"
+    )
+    return [sim, frontier]

@@ -504,6 +504,11 @@ resilience and adaptation tables, or exercise the machinery directly:
   SSD failures; ``ext_adaptive`` closes the loop online and prints the
   controller's decision timeline (every swap with its triggering drift
   event, as recorded in the run ledger).
+- ``ext_overlap`` prices the stall-free optimizer modes on one
+  frontier: simulated s/iter for sync Ratel vs the ZenFlow
+  (bounded-staleness async) and GreedySnake (step-overlap) reshapes of
+  the same plan, next to the *measured* loss divergence of each mode on
+  the NumPy runtime (K=0 async and overlap bit-identical to sync).
 """
 
 

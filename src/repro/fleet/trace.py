@@ -52,25 +52,38 @@ DEGRADE_AT_S = 640.0
 RESTORE_AT_S = 2400.0
 
 
-def standard_fleet_nodes() -> list[Node]:
-    """The four-node heterogeneous cluster (fresh instances every call)."""
+def standard_fleet_nodes(optimizer_mode: str | None = None) -> list[Node]:
+    """The four-node heterogeneous cluster (fresh instances every call).
+
+    ``optimizer_mode`` (``sync``/``async``/``overlap``) swaps every
+    Ratel-family node policy for the stall-free variant — the DGX keeps
+    Megatron, which has no out-of-core optimizer to overlap.
+    """
+
+    def ratel():
+        if optimizer_mode is None:
+            return RatelPolicy()
+        from repro.baselines.overlap import policy_for_mode
+
+        return policy_for_mode(optimizer_mode)
+
     return [
         Node(
             "box-3090",
             evaluation_server(gpu=RTX_3090, main_memory_bytes=256 * GiB, n_ssds=8),
-            RatelPolicy(),
+            ratel(),
             hardware_class="3090",
         ),
         Node(
             "box-4080",
             evaluation_server(gpu=RTX_4080, main_memory_bytes=256 * GiB, n_ssds=6),
-            RatelPolicy(),
+            ratel(),
             hardware_class="4080",
         ),
         Node(
             "box-4090",
             evaluation_server(),
-            RatelPolicy(),
+            ratel(),
             hardware_class="4090",
         ),
         Node(
@@ -164,10 +177,15 @@ def run_bursty_drill(
     degrade: bool = True,
     oracle: CostOracle | None = None,
     nodes: list[Node] | None = None,
+    optimizer_mode: str | None = None,
 ) -> FleetOutcome:
-    """Run the bursty trace (plus the standard fault) under one policy."""
+    """Run the bursty trace (plus the standard fault) under one policy.
+
+    ``optimizer_mode`` selects the stall-free optimizer variant on the
+    Ratel nodes (ignored when explicit ``nodes`` are given).
+    """
     fleet = Fleet(
-        nodes if nodes is not None else standard_fleet_nodes(),
+        nodes if nodes is not None else standard_fleet_nodes(optimizer_mode),
         scheduler,
         oracle=oracle,
         ledger=ledger,

@@ -43,6 +43,11 @@ class RunOptions:
     ledger: str | None = None
     #: Run the command's degradation drill (sweep postures, fleet faults).
     adapt: bool = False
+    #: Stall-free optimizer engine mode (``sync``/``async``/``overlap``);
+    #: ``None`` keeps the session default.  Ratel-family policies in
+    #: sweeps/fleet swap to the matching sim policy, and runtimes built
+    #: under the session inherit it via ``ratel_init``.
+    optimizer_mode: str | None = None
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "RunOptions":
@@ -71,6 +76,10 @@ class RunOptions:
         """
         from repro import runner
 
+        if self.optimizer_mode is not None:
+            from repro.session import set_default_optimizer_mode
+
+            set_default_optimizer_mode(self.optimizer_mode)
         ledger = self.ledger if attach_ledger else None
         knobs = (self.jobs, self.cache_dir, self.retries, self.timeout, ledger)
         if all(value is None for value in knobs):
@@ -123,6 +132,12 @@ def run_options_parent(
     group.add_argument(
         "--ledger", metavar="PATH", nargs="?", const=DEFAULT_LEDGER_PATH, default=None,
         help=f"{verb} a JSONL run ledger (default path: {DEFAULT_LEDGER_PATH})",
+    )
+    group.add_argument(
+        "--optimizer-mode", dest="optimizer_mode", default=None,
+        choices=("sync", "async", "overlap"),
+        help="stall-free optimizer engine: sync (paper), async (ZenFlow "
+        "bounded staleness) or overlap (GreedySnake step-overlap)",
     )
     if adapt_help is not None:
         group.add_argument("--adapt", action="store_true", help=adapt_help)

@@ -35,8 +35,18 @@ from .modules import (
     MultiHeadAttention,
     TransformerBlock,
 )
-from .offload import RatelRuntime
-from .optim import Adam, CPUAdam, LRSchedule, OptimizerError, clip_gradients
+from .offload import OPTIMIZER_MODES, RatelRuntime
+from .optim import (
+    Adam,
+    BoundedStalenessQueue,
+    CPUAdam,
+    LRSchedule,
+    OptimizerError,
+    PendingGradient,
+    StalenessError,
+    clip_gradients,
+    gradient_importance,
+)
 from .storage import (
     GPU,
     HOST,
@@ -80,12 +90,17 @@ __all__ = [
     "Module",
     "MultiHeadAttention",
     "TransformerBlock",
+    "OPTIMIZER_MODES",
     "RatelRuntime",
     "Adam",
+    "BoundedStalenessQueue",
     "CPUAdam",
     "LRSchedule",
     "OptimizerError",
+    "PendingGradient",
+    "StalenessError",
     "clip_gradients",
+    "gradient_importance",
     "GPU",
     "HOST",
     "NVME",

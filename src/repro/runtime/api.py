@@ -43,6 +43,9 @@ class RatelContext:
     states_tier: str
     active_offload: bool
     delayed_update: bool
+    optimizer_mode: str = "sync"
+    stale_k: int = 0
+    critical_frac: float = 0.0
 
 
 # The ``ratel_init`` nesting stack.  A ContextVar (not a module-level
@@ -65,12 +68,22 @@ def ratel_init(
     active_offload: bool = True,
     delayed_update: bool = False,
     spill_dir: str | None = None,
+    optimizer_mode: str | None = None,
+    stale_k: int = 0,
+    critical_frac: float = 0.0,
 ):
     """Establish the Ratel storage hierarchy (the Fig. 4 ``Ratel_init``).
 
     Capacities are in bytes.  Yields the :class:`RatelContext`; the
-    manager's spill files are cleaned up on exit.
+    manager's spill files are cleaned up on exit.  ``optimizer_mode``
+    (``sync``/``async``/``overlap``) selects the stall-free optimizer
+    variant for runtimes built under this context; ``None`` inherits the
+    session default (see :func:`repro.session.default_optimizer_mode`).
     """
+    if optimizer_mode is None:
+        from repro.session import default_optimizer_mode
+
+        optimizer_mode = default_optimizer_mode()
     manager = st.StorageManager(
         gpu_capacity=gpu_capacity,
         host_capacity=host_capacity,
@@ -88,6 +101,9 @@ def ratel_init(
         states_tier=states_tier,
         active_offload=active_offload,
         delayed_update=delayed_update,
+        optimizer_mode=optimizer_mode,
+        stale_k=stale_k,
+        critical_frac=critical_frac,
     )
     token = _current.set(_current.get() + (context,))
     try:

@@ -16,11 +16,27 @@ substrate) with the paper's two mechanisms:
   writing back the fp32 states on their resting tier), and the fresh
   fp16 copy is installed for the next iteration (§IV-C).
 
-No staleness: a block's parameters update only after that block's own
-backward (and recompute) has finished, and no earlier block reads them
-again within the iteration — so active updates produce *bit-identical*
-parameters to a deferred optimizer stage.  The integration tests assert
-exactly that.
+No staleness in ``sync`` mode: a block's parameters update only after
+that block's own backward (and recompute) has finished, and no earlier
+block reads them again within the iteration — so active updates produce
+*bit-identical* parameters to a deferred optimizer stage.  The
+integration tests assert exactly that.
+
+The ``optimizer_mode`` axis relaxes the synchronous barrier (the
+``repro.overlap`` subsystem; sim twins in :mod:`repro.baselines.overlap`):
+
+* ``sync``    — the paper's design, as above.
+* ``async``   — ZenFlow-style bounded staleness: gradients park in a
+  :class:`~repro.runtime.optim.BoundedStalenessQueue` and apply up to
+  ``stale_k`` steps late, except the importance-prioritized
+  ``critical_frac`` top slice which applies in its own step.  ``stale_k=0``
+  is bit-identical to ``sync`` (every gradient applies in its producing
+  step, and no later read happens before the epilogue).
+* ``overlap`` — GreedySnake-style step-overlap: each gradient waits
+  host-side and applies *just before the next read* of its parameter —
+  per-block at that block's next forward entry, the rest at the next
+  step's start.  Values are bit-identical to ``sync``; only the schedule
+  position of the update moves (visible in the Perfetto timeline).
 """
 
 from __future__ import annotations
@@ -33,8 +49,17 @@ from repro.obs import spans as _spans
 
 from . import storage as st
 from .modules import Module
-from .optim import CPUAdam
+from .optim import (
+    BoundedStalenessQueue,
+    CPUAdam,
+    PendingGradient,
+    StalenessError,
+    gradient_importance,
+)
 from .tensor import Tensor, is_grad_enabled, no_grad
+
+#: Valid ``optimizer_mode`` values, in the CLI's spelling.
+OPTIMIZER_MODES = ("sync", "async", "overlap")
 
 
 class RatelRuntime:
@@ -50,6 +75,9 @@ class RatelRuntime:
         checkpoint_tier: str = st.NVME,
         active_offload: bool = True,
         delayed_update: bool = False,
+        optimizer_mode: str = "sync",
+        stale_k: int = 0,
+        critical_frac: float = 0.0,
     ) -> None:
         if checkpoint_tier not in (st.HOST, st.NVME):
             raise ValueError("checkpoint_tier must be 'host' or 'nvme'")
@@ -58,11 +86,37 @@ class RatelRuntime:
                 "delayed_update models ZeRO-Offload's one-step delay; it is "
                 "mutually exclusive with active gradient offloading"
             )
+        if optimizer_mode not in OPTIMIZER_MODES:
+            raise ValueError(
+                f"optimizer_mode must be one of {OPTIMIZER_MODES}, got {optimizer_mode!r}"
+            )
+        if delayed_update and optimizer_mode != "sync":
+            raise ValueError(
+                "delayed_update is its own (unbounded-staleness) mode; it "
+                "excludes optimizer_mode='async'/'overlap'"
+            )
+        if optimizer_mode != "async" and critical_frac:
+            raise ValueError("critical_frac only applies to optimizer_mode='async'")
+        if optimizer_mode != "async" and stale_k:
+            raise ValueError("stale_k only applies to optimizer_mode='async'")
         self.model = model
         self.manager = manager
         self.optimizer = optimizer
         self.checkpoint_tier = checkpoint_tier
         self.active_offload = active_offload
+        self.optimizer_mode = optimizer_mode
+        self.stale_k = stale_k
+        self.critical_frac = critical_frac
+        #: ``(name, produced_step, applied_step)`` per non-synchronous
+        #: update — the measured staleness record ``ext_overlap`` reports.
+        self.staleness_log: list[tuple[str, int, int]] = []
+        self._stale_queue = (
+            BoundedStalenessQueue(stale_k, critical_frac)
+            if optimizer_mode == "async"
+            else None
+        )
+        #: overlap mode: name -> queued PendingGradient, insertion-ordered.
+        self._overlap_pending: dict[str, object] = {}
         #: ZeRO-Offload's "one-step delayed update": step i's optimizer
         #: overlaps step i+1's forward/backward, so step i+1 computes on
         #: parameters one update behind — the *staleness* the paper rules
@@ -87,6 +141,26 @@ class RatelRuntime:
         target_blocks = blocks if blocks is not None else getattr(model, "blocks", [])
         for index, block in enumerate(target_blocks):
             self._wrap_block(block, index)
+        # Overlap mode applies each block's pending updates at that
+        # block's next forward entry; map block index -> full parameter
+        # names once (by tensor identity — block-local names differ).
+        self._param_map = dict(model.named_parameters())
+        by_id = {id(param): name for name, param in self._param_map.items()}
+        self._block_param_names: dict[int, tuple[str, ...]] = {}
+        in_blocks: set[str] = set()
+        for index, block in enumerate(target_blocks):
+            names = tuple(
+                by_id[id(param)]
+                for _local, param in block.named_parameters()
+                if id(param) in by_id
+            )
+            self._block_param_names[index] = names
+            in_blocks.update(names)
+        #: Parameters outside every block (embeddings, final norm, head):
+        #: their pending overlap updates apply at the next step's start.
+        self._nonblock_param_names = tuple(
+            name for name in self._param_map if name not in in_blocks
+        )
         model._ratel_runtime = self
         # Without an optimizer (the Fig.-4 ``ratel_hook`` stage) the
         # gradient handlers stay un-armed; RatelOptimizer installs them
@@ -115,6 +189,9 @@ class RatelRuntime:
             checkpoint_tier=context.checkpoint_tier,
             active_offload=context.active_offload,
             delayed_update=context.delayed_update,
+            optimizer_mode=getattr(context, "optimizer_mode", "sync"),
+            stale_k=getattr(context, "stale_k", 0),
+            critical_frac=getattr(context, "critical_frac", 0.0),
         )
 
     # -- public API -------------------------------------------------------------
@@ -122,8 +199,10 @@ class RatelRuntime:
     def add_step_hook(self, hook: Callable[["RatelRuntime"], None]) -> None:
         """Register ``hook(runtime)`` to run after every completed step.
 
-        Hooks fire once the step's updates are fully applied (whatever
-        the optimizer mode), so a hook that checkpoints — e.g.
+        Hooks fire at the step's epilogue, after every update *due this
+        step* is applied (async/overlap modes may still carry deferred
+        gradients — call :meth:`flush_pending` first for a fully
+        synchronised state), so a hook that checkpoints — e.g.
         :class:`~repro.runtime.serialization.PeriodicCheckpointer` —
         always captures a consistent state.  A hook that raises aborts
         the step's epilogue: by then the training state is already
@@ -171,6 +250,7 @@ class RatelRuntime:
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
+        self._apply_overlap_updates(self._nonblock_param_names, "head")
         rec = _spans.recorder()
         if rec is None:
             loss = loss_fn()
@@ -192,10 +272,19 @@ class RatelRuntime:
         elif not self.active_offload:
             # Deferred mode (the Ratel+ZeRO ablation): one optimizer pass
             # after backward, in the same last-to-first order gradients
-            # arrived.
+            # arrived.  In async/overlap mode _consume_gradient stashes
+            # instead of applying, so the loop below still decides.
             for name, param in reversed(list(self.model.named_parameters())):
                 if param.grad is not None:
                     self._consume_gradient(name, param)
+        if self._stale_queue is not None:
+            due = self._stale_queue.collect(self.step)
+            if due:
+                with _spans.maybe_span(
+                    _spans.RT_CPU_ADAM, f"async_apply_s{self.step}", float(len(due))
+                ):
+                    for item in due:
+                        self._apply_pending(item)
         self._fire_step_hooks()
 
     def train_step_accumulate(self, loss_fns: list[Callable[[], Tensor]]) -> float:
@@ -216,6 +305,7 @@ class RatelRuntime:
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
+        self._apply_overlap_updates(self._nonblock_param_names, "head")
         total = 0.0
         scale = 1.0 / len(loss_fns)
         with _spans.maybe_span(_spans.RT_STEP, f"train_step_accumulate_s{self.step}"):
@@ -252,6 +342,7 @@ class RatelRuntime:
         self.step += 1
         self.update_order.clear()
         self.model.zero_grad()
+        self._apply_overlap_updates(self._nonblock_param_names, "head")
         with _spans.maybe_span(_spans.RT_STEP, f"train_step_clipped_s{self.step}"):
             loss = loss_fn()
             loss.backward()
@@ -301,6 +392,11 @@ class RatelRuntime:
         """
         if not args or not isinstance(args[0], Tensor):
             raise TypeError("checkpointed blocks take the boundary Tensor first")
+        # GreedySnake: last step's update for this block lands just
+        # before this forward reads the block's parameters.
+        self._apply_overlap_updates(
+            self._block_param_names.get(index, ()), f"b{index}"
+        )
         if not is_grad_enabled():
             # Inference (e.g. generation): no backward will come, so no
             # boundary needs storing and no recompute needs arranging.
@@ -372,7 +468,7 @@ class RatelRuntime:
         param.register_hook(handler)
 
     def _consume_gradient(self, name: str, param: Tensor) -> None:
-        """§IV-C handler: G16 to host, CPU Adam update, fresh P16 installed."""
+        """§IV-C handler: G16 to host, then apply or stash per mode."""
         if self.optimizer is None:
             raise RuntimeError(
                 "runtime has no optimizer yet; build a RatelOptimizer before training"
@@ -381,10 +477,79 @@ class RatelRuntime:
         grad_name = f"{name}.grad.s{self.step}"
         stored = self.manager.put(grad_name, grad16, st.GPU, itemsize=2)
         self.manager.move(stored, st.HOST)
-        fresh_p16 = self.optimizer.step_param(name, stored.data())
-        self.manager.drop(stored)
-        # The new fp16 copy crosses back for the *next* iteration's
-        # compute; the current backward never reads it again.
-        param.data = fresh_p16.copy()
+        if self.optimizer_mode == "sync":
+            fresh_p16 = self.optimizer.step_param(name, stored.data())
+            self.manager.drop(stored)
+            # The new fp16 copy crosses back for the *next* iteration's
+            # compute; the current backward never reads it again.
+            param.data = fresh_p16.copy()
+            param.zero_grad()
+            self.update_order.append(name)
+            return
+        # async / overlap: the gradient parks host-side (counted bytes —
+        # the sim charges the same 2 B/param residency) until its update
+        # is due; the parameter keeps its old fp16 copy meanwhile.
+        importance = gradient_importance(stored.data())
         param.zero_grad()
-        self.update_order.append(name)
+        if self._stale_queue is not None:
+            self._stale_queue.push(name, stored, self.step, importance)
+            return
+        # Overlap: at most one pending update per parameter can exist —
+        # the next forward reads every parameter and applies it first.
+        # Apply a leftover eagerly (inference-only interludes) so no
+        # gradient is ever lost.
+        leftover = self._overlap_pending.pop(name, None)
+        if leftover is not None:
+            self._apply_pending(leftover)
+        self._overlap_pending[name] = PendingGradient(
+            name, stored, self.step, importance
+        )
+
+    def _apply_pending(self, item) -> None:
+        """Apply one stashed gradient; record and bound its staleness."""
+        stored = item.payload
+        fresh_p16 = self.optimizer.step_param(item.name, stored.data())
+        self.manager.drop(stored)
+        self._param_map[item.name].data = fresh_p16.copy()
+        self.update_order.append(item.name)
+        self.staleness_log.append((item.name, item.produced_step, self.step))
+        if self.step - item.produced_step > max(self.stale_k, 1):
+            raise StalenessError(
+                f"gradient for {item.name!r} produced at step "
+                f"{item.produced_step} applied at {self.step} — beyond the "
+                f"K={self.stale_k} bound"
+            )
+
+    def _apply_overlap_updates(self, names: tuple[str, ...], where: str) -> None:
+        """Overlap mode: apply pending updates for ``names`` (next read)."""
+        if self.optimizer_mode != "overlap" or not self._overlap_pending:
+            return
+        due = [
+            self._overlap_pending.pop(name)
+            for name in names
+            if name in self._overlap_pending
+        ]
+        if not due:
+            return
+        with _spans.maybe_span(
+            _spans.RT_CPU_ADAM, f"overlap_apply_{where}_s{self.step}", float(len(due))
+        ):
+            for item in due:
+                self._apply_pending(item)
+
+    def flush_pending(self) -> int:
+        """Apply every still-deferred update (end of training); returns count.
+
+        After this the parameters match what a final synchronisation
+        barrier would produce — the state ``ext_overlap`` compares
+        against the synchronous oracle.
+        """
+        items: list = []
+        if self._stale_queue is not None:
+            items += self._stale_queue.flush()
+        if self._overlap_pending:
+            items += list(self._overlap_pending.values())
+            self._overlap_pending.clear()
+        for item in items:
+            self._apply_pending(item)
+        return len(items)

@@ -16,6 +16,9 @@ so there is no staleness (verified by the equivalence tests).
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.obs import spans as _spans
@@ -26,6 +29,130 @@ from .tensor import Tensor
 
 class OptimizerError(RuntimeError):
     """Raised for invalid optimizer usage (missing grad, unknown param)."""
+
+
+class StalenessError(OptimizerError):
+    """Raised when a gradient would be applied beyond its staleness bound."""
+
+
+@dataclass
+class PendingGradient:
+    """One stashed gradient awaiting its (possibly deferred) update.
+
+    ``payload`` is whatever the runtime stashed — a raw ndarray or a
+    :class:`~repro.runtime.storage.StoredTensor` handle parked host-side
+    (so the byte counters see the pending-gradient residency the sim's
+    memory model charges for).
+    """
+
+    name: str
+    payload: object
+    produced_step: int
+    importance: float = field(default=0.0)
+
+
+def gradient_importance(grad: np.ndarray) -> float:
+    """ZenFlow's importance proxy: mean absolute gradient magnitude."""
+    if grad.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(grad)))
+
+
+class BoundedStalenessQueue:
+    """ZenFlow-style pending-gradient queue with a hard staleness bound.
+
+    Gradients are :meth:`push`-ed as backward produces them; at each
+    step's epilogue :meth:`collect` returns the ones that must apply now:
+
+    * every gradient whose deferral would exceed ``stale_k`` steps (with
+      ``stale_k=0`` that is *all* of this step's gradients — the
+      bit-identical-to-synchronous configuration);
+    * the importance-prioritized top ``critical_frac`` of this step's
+      fresh gradients (ZenFlow's critical set), applied eagerly so the
+      loss-relevant directions never go stale.
+
+    Returned batches are importance-descending across names but FIFO
+    within a name, so each parameter's Adam state sees its gradients in
+    production order.  Nothing is ever dropped: the union of every
+    ``collect`` plus a final ``flush`` is a permutation of the pushes.
+    """
+
+    def __init__(self, stale_k: int = 0, critical_frac: float = 0.0) -> None:
+        if stale_k < 0:
+            raise OptimizerError(f"stale_k must be >= 0, got {stale_k}")
+        if not 0 <= critical_frac < 1:
+            raise OptimizerError(
+                f"critical_frac must be in [0, 1), got {critical_frac}"
+            )
+        self.stale_k = stale_k
+        self.critical_frac = critical_frac
+        self._pending: list[PendingGradient] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[PendingGradient, ...]:
+        """The queued gradients, oldest first (read-only view)."""
+        return tuple(self._pending)
+
+    def push(
+        self, name: str, payload: object, step: int, importance: float
+    ) -> PendingGradient:
+        """Queue one gradient produced at ``step``."""
+        item = PendingGradient(name, payload, step, importance)
+        self._pending.append(item)
+        return item
+
+    def collect(self, step: int) -> list[PendingGradient]:
+        """Gradients that must apply at the end of ``step`` (see class doc)."""
+        forced = [
+            item
+            for item in self._pending
+            if step - item.produced_step >= self.stale_k
+        ]
+        if self.critical_frac > 0:
+            chosen = set(map(id, forced))
+            fresh = [
+                item
+                for item in self._pending
+                if item.produced_step == step and id(item) not in chosen
+            ]
+            n_critical = math.ceil(len(fresh) * self.critical_frac)
+            fresh.sort(key=lambda item: -item.importance)
+            forced += fresh[:n_critical]
+        # FIFO closure: applying a parameter's newer gradient while an
+        # older one still waits would feed its Adam state out of order —
+        # a selected name drags every older pending gradient with it.
+        latest = {}
+        for item in forced:
+            latest[item.name] = max(latest.get(item.name, 0), item.produced_step)
+        chosen = set(map(id, forced))
+        forced += [
+            item
+            for item in self._pending
+            if id(item) not in chosen
+            and item.produced_step < latest.get(item.name, 0)
+        ]
+        selected = set(map(id, forced))
+        self._pending = [
+            item for item in self._pending if id(item) not in selected
+        ]
+        return self._order(forced)
+
+    def flush(self) -> list[PendingGradient]:
+        """Drain everything still pending (end of training)."""
+        items, self._pending = self._pending, []
+        return self._order(items)
+
+    @staticmethod
+    def _order(items: list[PendingGradient]) -> list[PendingGradient]:
+        """Importance-descending across names, production order within one."""
+        ranked = sorted(items, key=lambda item: -item.importance)
+        by_name: dict[str, list[PendingGradient]] = {}
+        for item in sorted(ranked, key=lambda item: item.produced_step):
+            by_name.setdefault(item.name, []).append(item)
+        return [by_name[item.name].pop(0) for item in ranked]
 
 
 class Adam:
@@ -63,6 +190,11 @@ class Adam:
             self._update(name, param.data, param.grad)
 
     def _update(self, name: str, data: np.ndarray, grad: np.ndarray) -> None:
+        # Compute in the parameter's dtype regardless of the gradient's:
+        # a float16 grad would otherwise evaluate (1-beta1)*grad at half
+        # precision, drifting from CPUAdam (which upcasts first) and from
+        # the NumPy reference the unit tests pin.
+        grad = grad.astype(data.dtype, copy=False)
         m = self._m[name]
         v = self._v[name]
         m *= self.beta1
