@@ -4,7 +4,10 @@ One payload lands in ``benchmarks/results/BENCH_overlap.json``: the
 simulated per-preset iteration times for synchronous Ratel vs the
 ZenFlow/GreedySnake reshapes of the same plan, the realized speedups,
 and the runtime fidelity numbers (measured loss divergence and the
-bit-exactness flags for K=0 async and overlap).  The simulated seconds
+bit-exactness flags for K=0 async and overlap).  The frontier also
+lands as a standalone scatter plot (speedup vs loss divergence, one
+labelled point per mode) in ``ext_overlap_frontier.svg`` next to the
+rendered table — same palette as the HTML run reports, no JS, no CDN.  The simulated seconds
 move whenever hardware calibration or the overlap model is retuned, so
 the diff gate reads them through the ``BENCH_overlap.json:*`` allowlist
 entry; the bench's own assertions — both stall-free modes beat sync,
@@ -15,13 +18,15 @@ Runs under the ``bench_smoke`` marker.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from repro.experiments import ext_overlap
+from repro.obs.html import write_frontier_svg
 
-from conftest import run_once, write_bench_json
+from conftest import RESULTS_DIR, run_once, write_bench_json
 
 #: The whole frontier is a handful of cached simulations plus four tiny
 #: training runs; a minute of wall is already pathological.
@@ -37,6 +42,13 @@ def test_overlap_frontier(benchmark, emit):
 
     sim_rows = {row[0]: row[1:4] for row in sim.rows}
     modes = {row[0]: row[1:] for row in frontier.rows}
+    write_frontier_svg(
+        os.path.join(RESULTS_DIR, "ext_overlap_frontier.svg"),
+        [(mode, speedup, divergence) for mode, (speedup, divergence, *_rest) in modes.items()],
+        title="stall-free optimizer frontier (13B batch 8, 4090/12ssd)",
+        x_label="simulated speedup vs sync Ratel",
+        y_label="max |loss − sync oracle|",
+    )
     write_bench_json(
         "overlap",
         {

@@ -40,6 +40,7 @@ from repro.core.engine import IterationResult
 from repro.core.hwprofile import HardwareProfile
 from repro.core.policy import OffloadPolicy
 from repro.core.ratel import RatelPolicy
+from repro.obs import tracectx
 from repro.obs.ledger import LedgerEntry, RunLedger
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.spans import maybe_span
@@ -96,13 +97,15 @@ class Decision:
     events: tuple[dict[str, Any], ...] = ()
     #: The active plan's predicted seconds-per-token after the decision.
     predicted_s_per_token: float = 0.0
+    #: The causal trace the decision was made under (``""`` outside one).
+    trace_id: str = ""
 
     @property
     def swapped_plan(self) -> bool:
         return self.action != "hold"
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "iteration": self.iteration,
             "action": self.action,
             "rung": self.rung,
@@ -110,6 +113,9 @@ class Decision:
             "events": list(self.events),
             "predicted_s_per_token": self.predicted_s_per_token,
         }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        return payload
 
 
 class AdaptiveController:
@@ -327,6 +333,7 @@ class AdaptiveController:
             reason=reason,
             events=tuple(e.to_payload() for e in events),
             predicted_s_per_token=plan.seconds_per_token,
+            trace_id=tracectx.current_trace_id(),
         )
 
     def _hold(self, reason: str, events: list[DriftEvent]) -> Decision:
@@ -337,6 +344,7 @@ class AdaptiveController:
             reason=reason,
             events=tuple(e.to_payload() for e in events),
             predicted_s_per_token=self.plan.seconds_per_token,
+            trace_id=tracectx.current_trace_id(),
         )
 
     # -- recording -----------------------------------------------------------
@@ -373,5 +381,6 @@ class AdaptiveController:
                     metrics={"decision": decision.to_payload()},
                     kind="adapt",
                     source="adapt-controller",
+                    trace_id=decision.trace_id,
                 )
             )

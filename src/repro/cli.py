@@ -222,11 +222,22 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[run_options_parent()],
     )
     _server_args(obs_report)
-    obs_report.add_argument("model", choices=sorted(LLM_PRESETS), help="Table IV model")
-    obs_report.add_argument("batch", type=int, help="batch size")
+    obs_report.add_argument(
+        "model", choices=sorted(LLM_PRESETS), nargs="?", default=None,
+        help="Table IV model (omit with --trace-id)",
+    )
+    obs_report.add_argument(
+        "batch", type=int, nargs="?", default=None,
+        help="batch size (omit with --trace-id)",
+    )
     obs_report.add_argument(
         "--system", choices=sorted(_SYSTEMS), default="ratel",
         help="system to attribute (default: ratel)",
+    )
+    obs_report.add_argument(
+        "--trace-id", metavar="ID", default=None,
+        help="instead of evaluating, print every ledger record of one "
+        "causal trace (reads --ledger, default: the committed ledger)",
     )
     obs_report.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -282,6 +293,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed the newest N ledger entries (default: 20)",
     )
     _ledger_arg(obs_html, record=False)
+
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help="profile the repo's own wall-clock: a cold sweep under "
+        "cProfile + sim event-loop hot-spot counters",
+    )
+    _server_args(obs_profile)
+    obs_profile.add_argument(
+        "model", choices=sorted(LLM_PRESETS), nargs="?", default="13B",
+        help="Table IV model to sweep (default: 13B)",
+    )
+    obs_profile.add_argument(
+        "batch", type=int, nargs="?", default=32, help="batch size (default: 32)"
+    )
+    obs_profile.add_argument(
+        "--system", choices=sorted(_SYSTEMS), default="ratel",
+        help="system to profile (default: ratel)",
+    )
+    obs_profile.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the speedscope JSON profile here (open at speedscope.app)",
+    )
+    obs_profile.add_argument(
+        "--collapsed", metavar="PATH", default=None,
+        help="write collapsed (folded) stacks for flamegraph.pl-style tools",
+    )
+    obs_profile.add_argument(
+        "--summary", metavar="PATH", default=None,
+        help="also write the summary table to PATH",
+    )
+    obs_profile.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="functions to show in the summary table (default: 12)",
+    )
     return parser
 
 
@@ -599,11 +644,56 @@ def cmd_serve(args, out) -> int:
 
 
 def cmd_obs(args, out) -> int:
-    handlers = {"report": cmd_obs_report, "diff": cmd_obs_diff, "html": cmd_obs_html}
+    handlers = {
+        "report": cmd_obs_report,
+        "diff": cmd_obs_diff,
+        "html": cmd_obs_html,
+        "profile": cmd_obs_profile,
+    }
     return handlers[args.obs_command](args, out)
 
 
+def _report_trace_id(args, out) -> int:
+    """``obs report --trace-id``: every ledger record of one causal trace."""
+    path = args.ledger or DEFAULT_LEDGER_PATH
+    try:
+        entries = load_ledger(path).entries()
+    except (OSError, LedgerError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if not entries:
+        print(
+            f"error: ledger {path!r} is empty; record runs with "
+            "--ledger (sweep/serve/fleet) before filtering by trace",
+            file=out,
+        )
+        return 2
+    matches = [e for e in entries if e.trace_id == args.trace_id]
+    if not matches:
+        print(
+            f"error: no entries with trace_id {args.trace_id!r} in {path!r} "
+            f"({len(entries)} entries scanned)",
+            file=out,
+        )
+        return 1
+    print(f"trace {args.trace_id}: {len(matches)} ledger record(s) in {path}", file=out)
+    for entry in matches:
+        request_id = entry.metrics.get("request_id", "")
+        extra = f" request_id={request_id}" if request_id else ""
+        print(
+            f"  [{entry.kind:8s}] {entry.label}  source={entry.source or '-'}"
+            f"{extra}",
+            file=out,
+        )
+    return 0
+
+
 def cmd_obs_report(args, out) -> int:
+    if args.trace_id is not None:
+        return _report_trace_id(args, out)
+    if args.model is None or args.batch is None:
+        print("error: model and batch are required (unless using --trace-id)", file=out)
+        return 2
     # The handler records to --ledger itself (below, cache hits included),
     # so the runner must not also auto-append the evaluation.
     opts = RunOptions.from_args(args)
@@ -659,6 +749,11 @@ def _load_diff_side(path: str, label_filter: str | None):
     try:
         with open(path) as handle:
             payload = json.load(handle)
+    except OSError as exc:
+        raise LedgerError(
+            f"{path}: {exc.strerror or exc}; pass a run ledger JSONL "
+            "(written via --ledger) or an exported Chrome trace"
+        ) from exc
     except ValueError:  # multi-line JSONL: not a single JSON document
         payload = None
     if isinstance(payload, dict) and "traceEvents" in payload:
@@ -672,7 +767,10 @@ def _load_diff_side(path: str, label_filter: str | None):
     entry = load_ledger(path).last(label_filter)
     if entry is None:
         wanted = f" labelled {label_filter!r}" if label_filter else ""
-        raise LedgerError(f"{path}: no ledger entry{wanted}")
+        raise LedgerError(
+            f"{path}: no ledger entry{wanted}; record runs with "
+            "--ledger (sweep/serve/fleet) before diffing"
+        )
     return entry, entry.attribution(), entry.label
 
 
@@ -736,6 +834,42 @@ def cmd_obs_html(args, out) -> int:
         entries=entries,
     )
     print(f"wrote {args.output} (self-contained; open in any browser)", file=out)
+    return 0
+
+
+def cmd_obs_profile(args, out) -> int:
+    from repro.obs.profile import profile as profile_scope
+
+    server = _server_from(args)
+    policy = _SYSTEMS[args.system]()
+    # A fresh, cacheless sweep: the profile must cover the genuinely cold
+    # path (plan + full simulation), not a cache hit.
+    sweep = runner.Sweep()
+    with profile_scope() as report:
+        outcome = sweep.evaluate(policy, llm(args.model), args.batch, server, detail=True)
+    if not outcome.feasible:
+        print(
+            f"{policy.name}: {args.model} at batch {args.batch} does NOT fit: "
+            f"{outcome.reason}",
+            file=out,
+        )
+        return 1
+    title = (
+        f"cold sweep profile: {policy.name} / {args.model} batch {args.batch} "
+        f"on {server.gpu.name} / {args.memory_gb} GiB / {args.ssds} SSDs"
+    )
+    print(title, file=out)
+    print(report.render(args.top), file=out)
+    if args.output:
+        report.write_speedscope(args.output, name=title)
+        print(f"wrote {args.output} (speedscope JSON; open at speedscope.app)", file=out)
+    if args.collapsed:
+        report.write_collapsed(args.collapsed)
+        print(f"wrote {args.collapsed} (collapsed stacks)", file=out)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(title + "\n\n" + report.render(args.top) + "\n")
+        print(f"wrote {args.summary}", file=out)
     return 0
 
 

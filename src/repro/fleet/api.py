@@ -57,6 +57,10 @@ class JobSpec:
     scheduler ages it to bound starvation).  ``hardware_class`` pins the
     job to nodes advertising that class (``None`` = any feasible node).
     ``submit_at`` is the arrival instant on the fleet clock.
+    ``trace_id`` is the causal trace the job was born under (see
+    :mod:`repro.obs.tracectx`; ``""`` when submitted outside any trace)
+    — it follows the job through preemption, requeue and migration, and
+    stamps every fleet event and ledger record the job produces.
     """
 
     job_id: str
@@ -67,6 +71,7 @@ class JobSpec:
     deadline_s: float | None = None
     hardware_class: str | None = None
     submit_at: float = 0.0
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -102,6 +107,7 @@ class FleetEvent:
     job_id: str | None = None
     node: str | None = None
     detail: str = ""
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:

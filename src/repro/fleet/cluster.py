@@ -31,9 +31,10 @@ from __future__ import annotations
 import heapq
 import logging
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.obs import tracectx
 from repro.obs.ledger import LedgerEntry, RunLedger
 
 from .api import FleetError, FleetEvent, JobResult, JobSpec, percentile
@@ -139,9 +140,19 @@ class Fleet:
     # -- client surface --------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> str:
-        """Enqueue one job; arrival fires at ``spec.submit_at`` (or now)."""
+        """Enqueue one job; arrival fires at ``spec.submit_at`` (or now).
+
+        A spec submitted while a :mod:`repro.obs.tracectx` trace is
+        ambient inherits its trace_id (an explicit one on the spec wins),
+        so fleet events and ledger records stay linked to the request
+        that caused the submission long after the ambient scope ends.
+        """
         if spec.job_id in self._jobs:
             raise FleetError(f"duplicate job_id {spec.job_id!r}")
+        if not spec.trace_id:
+            ambient = tracectx.current_trace_id()
+            if ambient:
+                spec = replace(spec, trace_id=ambient)
         state = JobState(
             spec=spec,
             seq=self._job_seq,
@@ -510,8 +521,19 @@ class Fleet:
         node: str | None = None,
         detail: str = "",
     ) -> None:
+        # Events about a known job carry the job's trace — the id follows
+        # the job through preempt/requeue/migrate without the caller
+        # having to thread it to every creation site.
+        state = self._jobs.get(job_id) if job_id else None
         self.events.append(
-            FleetEvent(time=self.now, kind=kind, job_id=job_id, node=node, detail=detail)
+            FleetEvent(
+                time=self.now,
+                kind=kind,
+                job_id=job_id,
+                node=node,
+                detail=detail,
+                trace_id=state.spec.trace_id if state is not None else "",
+            )
         )
 
     def _record(
@@ -545,6 +567,9 @@ class Fleet:
                     metrics={"decision": payload},
                     kind="fleet",
                     source="fleet",
+                    # Explicit: fleet decisions usually land after the
+                    # submitting request's ambient scope has ended.
+                    trace_id=spec.trace_id if spec is not None else "",
                 )
             )
         except OSError:

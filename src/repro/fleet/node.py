@@ -28,6 +28,7 @@ from repro.adapt.health import DriftEvent, HealthMonitor
 from repro.core.hwprofile import profile_hardware
 from repro.core.policy import OffloadPolicy
 from repro.hardware.spec import ServerSpec
+from repro.obs import tracectx
 
 from .api import FleetError
 
@@ -61,6 +62,10 @@ class Node:
         self.busy_s = 0.0
         #: The job currently executing here (``None`` when free).
         self.running: "JobState | None" = None
+        #: The ambient trace the most recent degrade/restore happened
+        #: under (``""`` when none) — links a health transition back to
+        #: the chaos injection or request that caused it.
+        self.last_trace_id = ""
         self._monitor: HealthMonitor | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
@@ -131,12 +136,14 @@ class Node:
                     f"node {self.name}: bw_sag must be in (0, 1], got {bw_sag}"
                 )
             self.bw_sag = bw_sag
+        self.last_trace_id = tracectx.current_trace_id()
         return self._observe()
 
     def restore(self) -> list[DriftEvent]:
         """Heal the node back to its provisioned spec."""
         self.failed_ssds = 0
         self.bw_sag = 1.0
+        self.last_trace_id = tracectx.current_trace_id()
         return self._observe()
 
     def _observe(self) -> list[DriftEvent]:

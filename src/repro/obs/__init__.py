@@ -28,6 +28,18 @@ Three longitudinal companions close the regression loop:
   run report** (timeline + utilization + planned-vs-actual + ledger
   history) via ``repro obs html``.
 
+And two self-observation layers point the same rigor at the repo's own
+hot paths:
+
+* :mod:`~repro.obs.profile` — a scoped, stdlib-only profiler of the
+  simulator and its callers (cProfile wrapping + per-event-type hot-spot
+  counters inside the sim event loop) with speedscope/collapsed-stack
+  exports via ``repro obs profile``;
+* :mod:`~repro.obs.tracectx` — ambient W3C-style trace contexts
+  propagated across serve HTTP, sweep pool workers, fleet jobs and
+  adapt decisions; every ledger entry appended under a trace is stamped
+  with its ``trace_id`` (``repro obs report --trace-id``).
+
 Surfaced through ``repro obs report`` on the CLI, the ``attribution``
 block inside every simulated :class:`~repro.core.evaluation.EvalOutcome`
 ``metrics`` dict, and the sweep runner's per-sweep registry.
@@ -70,6 +82,13 @@ from .metrics import (
     default_registry,
     reset_default_registry,
 )
+from .profile import (
+    EventLoopStats,
+    FunctionStat,
+    ProfileError,
+    ProfileReport,
+    profile,
+)
 from .spans import (
     RT_CPU_ADAM,
     RT_SSD,
@@ -81,6 +100,16 @@ from .spans import (
     maybe_span,
     observe,
     recorder,
+)
+from .tracectx import (
+    TraceContext,
+    TraceError,
+    activate,
+    child_scope,
+    current,
+    current_payload,
+    current_trace_id,
+    new_trace,
 )
 
 __all__ = [
@@ -125,4 +154,17 @@ __all__ = [
     "maybe_span",
     "observe",
     "recorder",
+    "EventLoopStats",
+    "FunctionStat",
+    "ProfileError",
+    "ProfileReport",
+    "profile",
+    "TraceContext",
+    "TraceError",
+    "activate",
+    "child_scope",
+    "current",
+    "current_payload",
+    "current_trace_id",
+    "new_trace",
 ]

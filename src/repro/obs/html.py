@@ -21,6 +21,11 @@ system can park a file.  Sections:
 Lane colors follow a fixed categorical assignment per resource family
 (every lane is also text-labelled, so color never carries identity
 alone), with a dark variant selected via ``prefers-color-scheme``.
+
+:func:`frontier_svg` reuses the same palette for a standalone
+scatter-plot artifact (speedup vs fidelity frontiers like
+``ext_overlap``'s) — an ``.svg`` file with its own embedded stylesheet,
+still zero external requests.
 """
 
 from __future__ import annotations
@@ -223,6 +228,154 @@ def timeline_svg(
         )
     parts.append("</svg>")
     return "".join(parts)
+
+
+#: Stylesheet for standalone ``.svg`` artifacts (:func:`frontier_svg`):
+#: the same categorical palette and gridline colors as the HTML report,
+#: embedded because the file opens outside any HTML document.
+_FRONTIER_CSS = """
+text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+.title { font-size: 13px; font-weight: 600; fill: #0b0b0b; }
+.axis-label { font-size: 11px; fill: #52514e; }
+.tick-label { font-size: 10px; fill: #898781; }
+.point-label { font-size: 11px; fill: #0b0b0b; }
+.gridline { stroke: #e1e0d9; stroke-width: 1; }
+.baseline { stroke: #c3c2b7; stroke-width: 1; }
+.c1 { fill: #2a78d6; } .c2 { fill: #eb6834; } .c3 { fill: #1baf7a; }
+.c4 { fill: #eda100; } .c5 { fill: #e87ba4; } .c6 { fill: #008300; }
+.c7 { fill: #4a3aa7; }
+@media (prefers-color-scheme: dark) {
+  .title, .point-label { fill: #ffffff; }
+  .axis-label { fill: #c3c2b7; }
+  .gridline { stroke: #2c2c2a; }
+  .baseline { stroke: #383835; }
+  .c1 { fill: #3987e5; } .c2 { fill: #d95926; } .c3 { fill: #199e70; }
+  .c4 { fill: #c98500; } .c5 { fill: #d55181; } .c7 { fill: #9085e9; }
+}
+"""
+
+_FRONTIER_WIDTH = 640
+_FRONTIER_HEIGHT = 400
+
+#: Point-label offsets tried in order when several points share one
+#: position (the frontier's bit-exact modes all sit at speedup 1, 0
+#: divergence): right of the dot, then above, then stacked below.
+_LABEL_OFFSETS = ((9, 4), (9, -12), (9, 20), (9, -28), (9, 36))
+
+
+def frontier_svg(
+    points: Sequence[tuple[str, float, float]],
+    *,
+    title: str = "speed-fidelity frontier",
+    x_label: str = "speedup vs baseline",
+    y_label: str = "divergence from baseline",
+) -> str:
+    """A labelled scatter plot as one standalone SVG document.
+
+    ``points`` is ``(label, x, y)`` per mode — for the ``ext_overlap``
+    frontier, simulated speedup vs measured loss divergence.  Every
+    point is text-labelled (color never carries identity alone), colors
+    cycle through the report palette, and the stylesheet is embedded so
+    the file renders anywhere, light or dark, with zero requests.
+    """
+    pts = [(str(label), float(x), float(y)) for label, x, y in points]
+    left, right, top, bottom = 64, 120, 34, 46
+    plot_w = _FRONTIER_WIDTH - left - right
+    plot_h = _FRONTIER_HEIGHT - top - bottom
+
+    xs = [x for _l, x, _y in pts] or [1.0]
+    ys = [y for _l, _x, y in pts] or [0.0]
+    x_lo, x_hi = min(xs), max(xs)
+    pad = max((x_hi - x_lo) * 0.12, 0.05)
+    x_lo, x_hi = x_lo - pad, x_hi + pad
+    y_lo = 0.0
+    y_hi = max(max(ys), 1e-9) * 1.15
+
+    def px(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {_FRONTIER_WIDTH} {_FRONTIER_HEIGHT}" '
+        f'width="{_FRONTIER_WIDTH}" role="img" aria-label="{_esc(title)}" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f"<style>{_FRONTIER_CSS}</style>",
+        f'<text class="title" x="{_FRONTIER_WIDTH / 2:.0f}" y="16" '
+        f'text-anchor="middle">{_esc(title)}</text>',
+    ]
+
+    tick = _nice_tick(x_hi - x_lo)
+    t = math.ceil(x_lo / tick) * tick
+    while t <= x_hi + 1e-9:
+        parts.append(
+            f'<line class="gridline" x1="{px(t):.1f}" y1="{top}" '
+            f'x2="{px(t):.1f}" y2="{top + plot_h}"/>'
+        )
+        parts.append(
+            f'<text class="tick-label" x="{px(t):.1f}" y="{top + plot_h + 14}" '
+            f'text-anchor="middle">{t:g}</text>'
+        )
+        t += tick
+    tick = _nice_tick(y_hi - y_lo)
+    t = 0.0
+    while t <= y_hi + 1e-9:
+        parts.append(
+            f'<line class="gridline" x1="{left}" y1="{py(t):.1f}" '
+            f'x2="{left + plot_w}" y2="{py(t):.1f}"/>'
+        )
+        parts.append(
+            f'<text class="tick-label" x="{left - 6}" y="{py(t) + 3:.1f}" '
+            f'text-anchor="end">{t:g}</text>'
+        )
+        t += tick
+    parts.append(
+        f'<line class="baseline" x1="{left}" y1="{top + plot_h}" '
+        f'x2="{left + plot_w}" y2="{top + plot_h}"/>'
+    )
+    parts.append(
+        f'<line class="baseline" x1="{left}" y1="{top}" '
+        f'x2="{left}" y2="{top + plot_h}"/>'
+    )
+    parts.append(
+        f'<text class="axis-label" x="{left + plot_w / 2:.0f}" '
+        f'y="{_FRONTIER_HEIGHT - 10}" text-anchor="middle">{_esc(x_label)}</text>'
+    )
+    parts.append(
+        f'<text class="axis-label" transform="rotate(-90)" '
+        f'x="{-(top + plot_h / 2):.0f}" y="14" '
+        f'text-anchor="middle">{_esc(y_label)}</text>'
+    )
+
+    occupied: dict[tuple[int, int], int] = {}
+    classes = [cls for _prefix, cls in _FAMILY_CLASSES]
+    for index, (label, x, y) in enumerate(pts):
+        cls = classes[index % len(classes)]
+        cx, cy = px(x), py(y)
+        parts.append(
+            f'<circle class="{cls}" cx="{cx:.1f}" cy="{cy:.1f}" r="5">'
+            f"<title>{_esc(label)}: x={x:g}, y={y:g}</title></circle>"
+        )
+        slot = occupied.get((round(cx), round(cy)), 0)
+        occupied[(round(cx), round(cy))] = slot + 1
+        dx, dy = _LABEL_OFFSETS[min(slot, len(_LABEL_OFFSETS) - 1)]
+        parts.append(
+            f'<text class="point-label" x="{cx + dx:.1f}" y="{cy + dy:.1f}">'
+            f"{_esc(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts) + "\n"
+
+
+def write_frontier_svg(
+    path: str, points: Sequence[tuple[str, float, float]], **kwargs: Any
+) -> str:
+    """Render (see :func:`frontier_svg`) and write; returns the SVG."""
+    text = frontier_svg(points, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
 
 
 def _stat_tiles(pairs: Sequence[tuple[str, str]]) -> str:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import datetime as _datetime
 import os
 import subprocess
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.util.jsonl import JsonlFile
@@ -104,6 +104,7 @@ class LedgerEntry:
     source: str = ""
     cached: bool = False
     timestamp: str = ""
+    trace_id: str = ""
     schema: int = SCHEMA_VERSION
 
     # -- metric accessors ------------------------------------------------------
@@ -214,7 +215,21 @@ class RunLedger:
     # -- writing ---------------------------------------------------------------
 
     def append(self, entry: LedgerEntry) -> LedgerEntry:
-        """Append one entry (creating the parent directory as needed)."""
+        """Append one entry (creating the parent directory as needed).
+
+        Entries appended while a :mod:`repro.obs.tracectx` context is
+        active are stamped with its trace id — the single hook that makes
+        every ``kind="serve"/"fleet"/"adapt"/...`` record retrievable via
+        ``repro obs report --trace-id``.  An explicit ``trace_id`` on the
+        entry (e.g. a fleet decision recorded after its job's ambient
+        scope ended) wins over the ambient one.
+        """
+        if not entry.trace_id:
+            from . import tracectx
+
+            ambient = tracectx.current_trace_id()
+            if ambient:
+                entry = replace(entry, trace_id=ambient)
         self._file.append(entry.to_payload())
         return entry
 

@@ -222,9 +222,17 @@ class Sample:
 
 @dataclass
 class RegistrySnapshot:
-    """An immutable, serialisable, mergeable view of a registry."""
+    """An immutable, serialisable, mergeable view of a registry.
+
+    ``trace_id`` records the ambient :mod:`repro.obs.tracectx` trace the
+    snapshot was taken under (``""`` outside any trace), so a pool
+    worker's metrics arrive home attributed to the request that spawned
+    the work.  The sample payload shape is unchanged — the trace rides
+    in the worker envelope, not in each sample line.
+    """
 
     samples: list[Sample] = field(default_factory=list)
+    trace_id: str = ""
 
     def get(self, name: str, **labels: str) -> Sample | None:
         """The sample for one instrument/label combination, if present."""
@@ -262,9 +270,15 @@ class RegistrySnapshot:
                         f"and a {sample.kind} in another"
                     )
                 table[key] = _merge_pair(held, sample)
-        return RegistrySnapshot(samples=sorted(
-            table.values(), key=lambda s: (s.name, sorted(s.labels.items()))
-        ))
+        traces = {s.trace_id for s in (self, *others) if s.trace_id}
+        return RegistrySnapshot(
+            samples=sorted(
+                table.values(), key=lambda s: (s.name, sorted(s.labels.items()))
+            ),
+            # A merged view keeps the trace only when every traced part
+            # agrees — mixing requests must not mis-attribute totals.
+            trace_id=traces.pop() if len(traces) == 1 else "",
+        )
 
     # -- serialisation ----------------------------------------------------------
 
@@ -273,8 +287,13 @@ class RegistrySnapshot:
         return [sample.to_payload() for sample in self.samples]
 
     @classmethod
-    def from_payload(cls, payload: Iterable[Mapping[str, Any]]) -> "RegistrySnapshot":
-        return cls(samples=[Sample.from_payload(item) for item in payload])
+    def from_payload(
+        cls, payload: Iterable[Mapping[str, Any]], *, trace_id: str = ""
+    ) -> "RegistrySnapshot":
+        return cls(
+            samples=[Sample.from_payload(item) for item in payload],
+            trace_id=trace_id,
+        )
 
     def to_jsonl(self) -> str:
         """One JSON object per line — append-friendly, greppable."""
@@ -397,12 +416,20 @@ class MetricsRegistry:
             self._merged.append(snapshot)
 
     def snapshot(self) -> RegistrySnapshot:
-        """Freeze every local series plus every merged-in snapshot."""
+        """Freeze every local series plus every merged-in snapshot.
+
+        Stamped with the ambient trace id (when inside one) so worker
+        snapshots shipped across a pool boundary stay attributable to
+        the request that spawned them.
+        """
+        from . import tracectx
+
         with self._lock:
             instruments = list(self._instruments.values())
             merged = list(self._merged)
         local = RegistrySnapshot(
-            samples=[sample for instrument in instruments for sample in instrument._collect()]
+            samples=[sample for instrument in instruments for sample in instrument._collect()],
+            trace_id=tracectx.current_trace_id(),
         )
         if not merged:
             local.samples.sort(key=lambda s: (s.name, sorted(s.labels.items())))

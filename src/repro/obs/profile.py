@@ -1,0 +1,349 @@
+"""Self-profiling: where does *our own* wall-clock go?
+
+:mod:`repro.obs.spans` can time stages of a *simulated* iteration; this
+module profiles the *simulator itself* (and everything around it — the
+sweep orchestrator, the serve backend, the fleet cost oracle), which is
+the measured starting line for the ≥10x event-loop speedup on the
+roadmap.  Stdlib only, two instruments under one scope:
+
+* a **function profiler** — :class:`cProfile.Profile` wrapped in a
+  context manager, reduced to per-function wall-time attribution plus
+  two flamegraph-ready exports: `speedscope`_ JSON and collapsed-stack
+  ("folded") text.  Stacks are reconstructed from the profiler's caller
+  graph by walking each function's dominant-caller chain — an
+  approximation (cProfile keeps a call *graph*, not call *stacks*), but
+  a deterministic one, and exact for the tree-shaped call patterns the
+  sweep path actually has;
+* **event-loop hot-spot counters** — a dispatch hook inside
+  :class:`repro.sim.engine.Simulator`'s run loop (installed via
+  :func:`repro.sim.engine.set_event_hook`) counting events and busy
+  seconds per event type (``Timeout`` / ``Process`` / ``Event`` / ...).
+  Off by default and free when off: the loop pays one module-global
+  ``None`` check per event, held under the same <2% disabled-overhead
+  bar as the span recorder (``bench_obs.py``).
+
+Scoped use::
+
+    with profile() as report:
+        sweep.run(points)
+    report.write_speedscope("sweep.speedscope.json")
+    print(report.render())
+
+``repro obs profile`` is the CLI face; the committed baseline profile of
+the 13B x 32 cold sweep lives in ``benchmarks/results/``.
+
+.. _speedscope: https://www.speedscope.app/
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sim import engine as _engine
+
+
+class ProfileError(RuntimeError):
+    """Raised for profiler misuse (nested scopes, empty reports)."""
+
+
+# -- the sim event-loop hook ---------------------------------------------------
+
+
+class EventLoopStats:
+    """Per-event-type dispatch counters for the sim kernel's run loop."""
+
+    __slots__ = ("counts", "busy_s")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.busy_s: dict[str, float] = {}
+
+    def dispatch(self, callback: Callable[[Any], None], arg: Any) -> None:
+        """The hook installed into the engine: time one callback dispatch."""
+        kind = _engine.event_kind(callback)
+        started = time.perf_counter()
+        try:
+            callback(arg)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            self.busy_s[kind] = self.busy_s.get(kind, 0.0) + elapsed
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    def top(self, n: int = 3) -> list[tuple[str, int, float]]:
+        """The ``n`` hottest event types as (kind, count, busy seconds)."""
+        return sorted(
+            ((kind, self.counts[kind], self.busy_s[kind]) for kind in self.counts),
+            key=lambda row: (-row[2], row[0]),
+        )[:n]
+
+
+# -- the function profile ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionStat:
+    """One profiled function: identity plus own/cumulative wall seconds."""
+
+    name: str
+    file: str
+    line: int
+    calls: int
+    own_s: float
+    cumulative_s: float
+
+    @property
+    def label(self) -> str:
+        """``package.module:function`` — how frames are named in every export."""
+        return _label(self.file, self.name)
+
+
+@dataclass
+class ProfileReport:
+    """The reduced result of one :func:`profile` scope."""
+
+    wall_s: float = 0.0
+    functions: list[FunctionStat] = field(default_factory=list)
+    event_stats: EventLoopStats = field(default_factory=EventLoopStats)
+    #: Collapsed stacks: (frame labels root->leaf, leaf own seconds).
+    stacks: list[tuple[tuple[str, ...], float]] = field(default_factory=list)
+
+    # -- headline numbers ------------------------------------------------------
+
+    def top(self, n: int = 10) -> list[FunctionStat]:
+        """The ``n`` functions with the most own (non-child) wall time."""
+        return sorted(
+            self.functions, key=lambda s: (-s.own_s, s.label)
+        )[:n]
+
+    def attributed_fraction(self) -> float:
+        """Fraction of scope wall time attributed to named functions."""
+        if self.wall_s <= 0:
+            return 0.0
+        return min(1.0, sum(stat.own_s for stat in self.functions) / self.wall_s)
+
+    # -- exports ---------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Brendan-Gregg folded stacks (``a;b;c <milliseconds>`` lines)."""
+        lines = [
+            f"{';'.join(frames)} {max(1, round(weight * 1e3))}"
+            for frames, weight in self.stacks
+            if weight > 0
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_speedscope(self, name: str = "repro profile") -> dict[str, Any]:
+        """The profile as a speedscope sampled-profile JSON document."""
+        frame_index: dict[str, int] = {}
+        frames: list[dict[str, Any]] = []
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        for stack, weight in self.stacks:
+            if weight <= 0:
+                continue
+            sample = []
+            for label in stack:
+                if label not in frame_index:
+                    frame_index[label] = len(frames)
+                    frames.append({"name": label})
+                sample.append(frame_index[label])
+            samples.append(sample)
+            weights.append(weight)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profile",
+            "activeProfileIndex": 0,
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    def write_speedscope(self, path: str, name: str = "repro profile") -> None:
+        """Write the speedscope JSON (open it at speedscope.app or via npx)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_speedscope(name), handle)
+
+    def write_collapsed(self, path: str) -> None:
+        """Write folded stacks (render with any flamegraph.pl-compatible tool)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.collapsed())
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, top: int = 12) -> str:
+        """The human-readable summary table the CLI prints (and commits)."""
+        out = [
+            f"profiled {self.wall_s:.3f} s wall; "
+            f"{self.attributed_fraction():.0%} attributed to "
+            f"{len(self.functions)} named functions"
+        ]
+        out.append("")
+        out.append(f"{'own s':>9}  {'cum s':>9}  {'calls':>9}  {'% wall':>7}  function")
+        for stat in self.top(top):
+            pct = stat.own_s / self.wall_s * 100 if self.wall_s > 0 else 0.0
+            out.append(
+                f"{stat.own_s:9.4f}  {stat.cumulative_s:9.4f}  {stat.calls:9d}  "
+                f"{pct:6.1f}%  {stat.label}"
+            )
+        if self.event_stats.counts:
+            out.append("")
+            out.append(
+                f"sim event loop: {self.event_stats.total_events} events dispatched"
+            )
+            out.append(f"{'busy s':>9}  {'events':>9}  {'% wall':>7}  event type")
+            for kind, count, busy in self.event_stats.top(len(self.event_stats.counts)):
+                pct = busy / self.wall_s * 100 if self.wall_s > 0 else 0.0
+                out.append(f"{busy:9.4f}  {count:9d}  {pct:6.1f}%  {kind}")
+        return "\n".join(out)
+
+
+# -- reduction from cProfile ---------------------------------------------------
+
+
+def _label(file: str, name: str) -> str:
+    """``package.module:function`` frame label shared by every export.
+
+    The parent package rides along because bare module names collide
+    (``models/profile.py`` vs ``obs/profile.py`` would both render as
+    ``profile:``); built-ins (file ``~``) keep cProfile's description.
+    """
+    if file in ("~", ""):
+        return name
+    module = os.path.basename(file)
+    if module.endswith(".py"):
+        module = module[:-3]
+    package = os.path.basename(os.path.dirname(file))
+    if package and package != module:
+        return f"{package}.{module}:{name}"
+    return f"{module}:{name}"
+
+
+def _func_label(func: tuple[str, int, str]) -> str:
+    file, _line, name = func
+    return _label(file, name)
+
+
+def _dominant_chain(
+    func: tuple[str, int, str],
+    callers_of: dict[tuple[str, int, str], dict[tuple[str, int, str], float]],
+) -> tuple[str, ...]:
+    """Root->leaf frame labels by walking the heaviest-caller chain.
+
+    cProfile records a call graph, not stacks; the dominant-caller walk
+    recovers the most likely stack for each function deterministically
+    (ties break on the label).  A visited set breaks recursion cycles.
+    """
+    chain = [func]
+    seen = {func}
+    current = func
+    while True:
+        callers = callers_of.get(current)
+        if not callers:
+            break
+        best = max(
+            callers.items(),
+            key=lambda item: (item[1], _func_label(item[0])),
+        )[0]
+        if best in seen:
+            break
+        chain.append(best)
+        seen.add(best)
+        current = best
+    return tuple(_func_label(f) for f in reversed(chain))
+
+
+def _reduce(prof: cProfile.Profile, wall_s: float, events: EventLoopStats) -> ProfileReport:
+    """Collapse raw profiler output into a :class:`ProfileReport`."""
+    import pstats
+
+    stats = pstats.Stats(prof).stats  # type: ignore[attr-defined]
+    functions: list[FunctionStat] = []
+    callers_of: dict[tuple[str, int, str], dict[tuple[str, int, str], float]] = {}
+    for func, (_cc, ncalls, own, cumulative, callers) in stats.items():
+        file, line, name = func
+        functions.append(
+            FunctionStat(
+                name=name,
+                file=file,
+                line=line,
+                calls=ncalls,
+                own_s=own,
+                cumulative_s=cumulative,
+            )
+        )
+        callers_of[func] = {
+            caller: stat[3] for caller, stat in callers.items()  # stat[3] = cum s
+        }
+    stacks = [
+        (_dominant_chain(func, callers_of), stat_tuple[2])  # [2] = own seconds
+        for func, stat_tuple in sorted(
+            stats.items(), key=lambda item: (-item[1][2], _func_label(item[0]))
+        )
+        if stat_tuple[2] > 0
+    ]
+    return ProfileReport(
+        wall_s=wall_s,
+        functions=sorted(functions, key=lambda s: (-s.own_s, s.label)),
+        event_stats=events,
+        stacks=stacks,
+    )
+
+
+# -- the scope -----------------------------------------------------------------
+
+#: Re-entrancy guard: cProfile cannot nest, and silently ignoring a
+#: nested scope would mis-attribute the inner block to the outer report.
+_active = False
+
+
+@contextlib.contextmanager
+def profile(*, events: bool = True) -> Iterator[ProfileReport]:
+    """Profile the enclosed block; the yielded report fills in on exit.
+
+    ``events=True`` (default) also installs the sim event-loop hook so
+    the report carries per-event-type dispatch counters.  The hook (and
+    any previously installed one) is restored on exit, whatever happens
+    inside the block.
+    """
+    global _active
+    if _active:
+        raise ProfileError("profile() scopes cannot nest (cProfile is a singleton)")
+    _active = True
+    stats = EventLoopStats()
+    report = ProfileReport(event_stats=stats)
+    prof = cProfile.Profile()
+    previous_hook = _engine.set_event_hook(stats.dispatch if events else None)
+    started = time.perf_counter()
+    prof.enable()
+    try:
+        yield report
+    finally:
+        prof.disable()
+        wall = time.perf_counter() - started
+        _engine.set_event_hook(previous_hook)
+        _active = False
+        reduced = _reduce(prof, wall, stats)
+        report.wall_s = reduced.wall_s
+        report.functions = reduced.functions
+        report.stacks = reduced.stacks

@@ -28,6 +28,7 @@ from typing import Callable, Iterator
 
 from repro.sim.trace import Trace
 
+from . import tracectx
 from .metrics import MetricsRegistry
 
 #: Runtime lane names (kept here so exporters and tests share one list).
@@ -61,6 +62,12 @@ class SpanRecorder:
         self.trace = Trace()
         self.stage_windows: dict[str, tuple[float, float]] = {}
         self.registry = registry
+        #: Spans recorded while a :mod:`repro.obs.tracectx` context was
+        #: ambient: each carries its own (trace_id, span_id, parent_id)
+        #: triple, so one trace_id links runtime spans to the serve/sweep
+        #: ledger records produced by the same request.  Empty when the
+        #: instrumented code runs outside any trace.
+        self.trace_spans: list[dict[str, object]] = []
 
     def now(self) -> float:
         """Seconds since this recorder's origin."""
@@ -68,13 +75,35 @@ class SpanRecorder:
 
     @contextlib.contextmanager
     def span(self, resource: str, label: str, amount: float = 0.0) -> Iterator[None]:
-        """Record the enclosed region as one busy interval on ``resource``."""
+        """Record the enclosed region as one busy interval on ``resource``.
+
+        Inside an ambient trace the region runs under a *child* span
+        context (nested spans nest as parent/child in the causal tree)
+        and leaves a record in :attr:`trace_spans`; outside a trace the
+        cost is one ContextVar read.
+        """
+        ctx = tracectx.current()
+        child = ctx.child() if ctx is not None else None
         start = self.now()
         try:
-            yield
+            if child is None:
+                yield
+            else:
+                with tracectx.activate(child):
+                    yield
         finally:
             end = self.now()
             self.trace.record(resource, label, start, end, amount)
+            if child is not None:
+                self.trace_spans.append(
+                    dict(
+                        child.to_payload(),
+                        resource=resource,
+                        label=label,
+                        start=start,
+                        end=end,
+                    )
+                )
             if self.registry is not None:
                 self.registry.counter("rt_spans_total").inc(lane=resource)
                 self.registry.counter("rt_busy_seconds_total").inc(end - start, lane=resource)

@@ -30,6 +30,7 @@ behaviour.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import logging
 import time
@@ -52,6 +53,7 @@ from repro.core.multi_gpu import max_global_batch, run_data_parallel
 from repro.core.policy import OffloadPolicy
 from repro.hardware.spec import ServerSpec
 from repro.models.profile import profile_model
+from repro.obs import tracectx
 from repro.obs.ledger import RunLedger
 from repro.obs.metrics import MetricsRegistry, RegistrySnapshot
 from repro.util.backoff import BackoffPolicy
@@ -299,22 +301,40 @@ def _decode(envelope: dict[str, Any]) -> Any:
     return envelope.get("value")
 
 
-def _pool_compute(point: SweepPoint) -> dict[str, Any]:
+def _pool_compute(
+    point: SweepPoint, trace_payload: dict[str, Any] | None = None
+) -> dict[str, Any]:
     """Process-pool worker: compute, meter, and return the envelope.
 
     Each worker meters its own work into a private registry and ships
     the snapshot alongside the payload; the parent folds every worker
     snapshot into the sweep's registry, so counters stay correct across
     any number of processes.
+
+    ``trace_payload`` is the submitting side's serialized
+    :class:`~repro.obs.tracectx.TraceContext` (contextvars do not cross
+    process boundaries, so the trace rides in the task payload).  The
+    worker runs under a *child* span of it and ships the child back in
+    ``worker_trace``, so the parent can attribute the worker's metrics —
+    and tests can assert the parent/child edge — under one trace_id.
     """
-    registry = MetricsRegistry()
-    started = time.perf_counter()
-    envelope = _encode(compute_point(point))
-    registry.counter("worker_points_total").inc(kind=point.kind)
-    registry.histogram("worker_compute_seconds").observe(
-        time.perf_counter() - started, kind=point.kind
-    )
-    envelope["worker_metrics"] = registry.snapshot().to_payload()
+    ctx = None
+    if trace_payload is not None:
+        try:
+            ctx = tracectx.TraceContext.from_payload(trace_payload).child()
+        except tracectx.TraceError:
+            ctx = None  # a torn payload must not fail the point
+    with tracectx.activate(ctx) if ctx is not None else contextlib.nullcontext():
+        registry = MetricsRegistry()
+        started = time.perf_counter()
+        envelope = _encode(compute_point(point))
+        registry.counter("worker_points_total").inc(kind=point.kind)
+        registry.histogram("worker_compute_seconds").observe(
+            time.perf_counter() - started, kind=point.kind
+        )
+        envelope["worker_metrics"] = registry.snapshot().to_payload()
+        if ctx is not None:
+            envelope["worker_trace"] = ctx.to_payload()
     return envelope
 
 
@@ -630,6 +650,12 @@ class Sweep:
         """
         workers = max_workers or self.max_workers
         worker_fn = _pool_compute if mode == "process" else compute_point
+        # Capture the submitting side's trace once: every point of this
+        # drain belongs to the request that started the sweep.  Process
+        # workers get it in the task payload (contextvars do not cross
+        # process boundaries); thread workers share this process and the
+        # parent's ledger/metrics hooks run on the parent side anyway.
+        trace_payload = tracectx.current_payload() if mode == "process" else None
 
         def make_pool() -> Executor:
             if mode == "process":
@@ -644,7 +670,10 @@ class Sweep:
 
         def submit(key: str) -> None:
             attempts[key] = attempts.get(key, 0) + 1
-            future = pool.submit(worker_fn, unique[key])
+            if trace_payload is not None:
+                future = pool.submit(worker_fn, unique[key], trace_payload)
+            else:
+                future = pool.submit(worker_fn, unique[key])
             futures[future] = key
             if self.timeout is not None:
                 deadlines[future] = time.monotonic() + self.timeout
@@ -740,9 +769,13 @@ class Sweep:
                         # envelope; fold it into this sweep's registry
                         # (and keep it out of the cached payload).
                         worker_metrics = envelope.pop("worker_metrics", None)
+                        worker_trace = envelope.pop("worker_trace", None)
                         if worker_metrics:
                             self.registry.merge(
-                                RegistrySnapshot.from_payload(worker_metrics)
+                                RegistrySnapshot.from_payload(
+                                    worker_metrics,
+                                    trace_id=(worker_trace or {}).get("trace_id", ""),
+                                )
                             )
                         value = _decode(envelope)
                         self.cache.put(key, value, envelope)

@@ -120,6 +120,10 @@ class ChaosReport:
     replayed: int = 0
     violations: list[str] = field(default_factory=list)
     wall_s: float = 0.0
+    #: The causal trace of the drill's first request — the handle
+    #: ``repro obs report --trace-id`` retrieves its serve ledger
+    #: records with.
+    sample_trace_id: str = ""
 
     @property
     def passed(self) -> bool:
@@ -141,6 +145,7 @@ class ChaosReport:
             "cache_corrupt_detected": self.cache_corrupt_detected,
             "replayed": self.replayed,
             "wall_s": round(self.wall_s, 3),
+            "sample_trace_id": self.sample_trace_id,
         }
 
 
@@ -172,6 +177,8 @@ def run_chaos_drill(root: str, *, seed: int = 0) -> ChaosReport:
 
     def fire(phase: PhaseStats, model: str, batch: int) -> None:
         response = service.handle({"model": model, "batch_size": batch})
+        if not report.sample_trace_id and response.trace_id:
+            report.sample_trace_id = response.trace_id
         phase.note(response.status, response.rung, response.elapsed_s)
 
     # Phase 1: warmup — healthy traffic answers exact.

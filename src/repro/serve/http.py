@@ -7,7 +7,11 @@ point is that ``repro serve`` runs anywhere the repo does.
 Routes:
 
 * ``POST /v1/whatif`` — a JSON :class:`WhatIfQuery`; answers carry the
-  fidelity rung, and 429/503 rejections carry ``Retry-After``.
+  fidelity rung, and 429/503 rejections carry ``Retry-After``.  A W3C
+  ``traceparent`` request header joins the caller's trace (malformed or
+  absent → a fresh trace, per spec); the response always echoes the
+  request's position in the trace as a ``traceparent`` header and a
+  ``trace_id`` field in the JSON body.
 * ``GET /healthz`` — liveness + breaker/ladder state (200 always; a
   degraded service is alive, that is the point of degrading).
 * ``GET /v1/stats`` — the service's counter snapshot as JSON.
@@ -24,6 +28,8 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+
+from repro.obs import tracectx
 
 from .service import PlannerService, ServeResponse
 
@@ -90,16 +96,28 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             self._send_json(400, {"error": f"invalid JSON: {exc}"})
             return
-        response = self.server.service.handle(payload)
-        self._send_answer(response)
+        # Trace extraction: continue the caller's trace as a child span,
+        # or root a fresh one.  Lenient on malformed headers by design —
+        # a bad traceparent must not fail the request.
+        parent = tracectx.TraceContext.from_traceparent(
+            self.headers.get("traceparent")
+        )
+        ctx = parent.child() if parent is not None else tracectx.new_trace()
+        with tracectx.activate(ctx):
+            response = self.server.service.handle(payload)
+        self._send_answer(response, ctx)
 
     # -- responses -------------------------------------------------------------
 
-    def _send_answer(self, response: ServeResponse) -> None:
+    def _send_answer(
+        self, response: ServeResponse, ctx: tracectx.TraceContext | None = None
+    ) -> None:
         headers = {}
         if response.status in (429, 503) and response.retry_after_s > 0:
             # Ceil to keep the client honest: retrying early re-sheds.
             headers["Retry-After"] = str(max(1, int(response.retry_after_s + 0.999)))
+        if ctx is not None:
+            headers["traceparent"] = ctx.to_traceparent()
         self._send_json(response.status, response.to_payload(), headers)
 
     def _send_json(

@@ -45,6 +45,7 @@ from repro.core.iteration_model import IterationTimeModel
 from repro.hardware import GiB, RTX_3090, RTX_4080, RTX_4090, evaluation_server
 from repro.models import profile_model
 from repro.models.config import llm
+from repro.obs import tracectx
 from repro.obs.ledger import LedgerEntry, RunLedger, hardware_payload
 from repro.obs.metrics import MetricsRegistry
 from repro.runner import SweepPoint
@@ -204,6 +205,7 @@ class ServeResponse:
     detail: str = ""
     retry_after_s: float = 0.0
     elapsed_s: float = 0.0
+    trace_id: str = ""
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -212,6 +214,8 @@ class ServeResponse:
             "source": self.source,
             "request_id": self.request_id,
         }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
         if self.key:
             payload["key"] = self.key
         if self.feasible is not None:
@@ -451,7 +455,25 @@ class PlannerService:
     # -- the request path ------------------------------------------------------
 
     def handle(self, payload: dict[str, Any]) -> ServeResponse:
-        """Answer one raw request payload end to end."""
+        """Answer one raw request payload end to end.
+
+        Runs under a causal trace: the caller's ambient
+        :class:`~repro.obs.tracectx.TraceContext` when one is active (the
+        HTTP layer activates the parsed ``traceparent``), a fresh root
+        trace otherwise (direct callers like the chaos drill still get
+        a retrievable trace_id).  Every ledger entry recorded along the
+        way is stamped with it, and the response carries it back.
+        """
+        ctx = tracectx.current()
+        if ctx is None:
+            ctx = tracectx.new_trace()
+        with tracectx.activate(ctx):
+            response = self._handle(payload)
+        if not response.trace_id:
+            response = replace(response, trace_id=ctx.trace_id)
+        return response
+
+    def _handle(self, payload: dict[str, Any]) -> ServeResponse:
         started = self.clock()
         request_id = uuid.uuid4().hex[:12]
         try:
@@ -621,11 +643,23 @@ class PlannerService:
 
         def compute() -> dict[str, Any]:
             cancel = threading.Event()
+            # contextvars do not follow an executor submission: capture
+            # the request's trace here (compute() runs on the requesting
+            # thread, single-flight) and re-activate a child span inside
+            # the worker thread, so backend-side ledger/metrics work is
+            # attributed to the originating request.
+            ctx = tracectx.current()
+
+            def traced_backend(q: WhatIfQuery, c: threading.Event) -> dict[str, Any]:
+                if ctx is None:
+                    return self.backend(q, c)
+                with tracectx.activate(ctx.child()):
+                    return self.backend(q, c)
 
             def run_once() -> dict[str, Any]:
                 if deadline.expired():
                     raise _DeadlineExceeded("deadline exhausted")
-                future = self._pool.submit(self.backend, query, cancel)
+                future = self._pool.submit(traced_backend, query, cancel)
                 try:
                     return future.result(timeout=deadline.remaining())
                 except FutureTimeout:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import contextlib
 from typing import TYPE_CHECKING, Any
 
-from repro.obs import spans
+from repro.obs import spans, tracectx
 from repro.obs.ledger import RunLedger
 from repro.runner import Sweep, default_sweep
 
@@ -118,6 +118,12 @@ class Session:
         session-wide default optimizer mode to this block — runtimes
         built via ``ratel_init(optimizer_mode=None)`` inside it inherit
         the mode; the previous default is restored on exit.
+    trace:
+        ``True`` roots a fresh :class:`~repro.obs.tracectx.TraceContext`
+        for the block; an explicit :class:`TraceContext` scopes that one.
+        Every ledger entry, fleet job and adapt decision produced inside
+        the block is stamped with its trace_id, and :attr:`trace` holds
+        the active context.
     """
 
     def __init__(
@@ -128,15 +134,18 @@ class Session:
         registry: "MetricsRegistry | None" = None,
         sweep: Sweep | None = None,
         optimizer_mode: str | None = None,
+        trace: "bool | tracectx.TraceContext" = False,
     ) -> None:
         self._ledger_spec = ledger
         self._observe = observe or registry is not None
         self._registry = registry
         self._sweep = sweep
         self._optimizer_mode = optimizer_mode
+        self._trace_spec = trace
         self._stack: contextlib.ExitStack | None = None
         self.ledger: RunLedger | None = None
         self.recorder: "SpanRecorder | None" = None
+        self.trace: "tracectx.TraceContext | None" = None
         self._bound: list[Any] = []
 
     @property
@@ -160,6 +169,13 @@ class Session:
             if self._optimizer_mode is not None:
                 previous_mode = set_default_optimizer_mode(self._optimizer_mode)
                 stack.callback(set_default_optimizer_mode, previous_mode)
+            if self._trace_spec:
+                ctx = (
+                    self._trace_spec
+                    if isinstance(self._trace_spec, tracectx.TraceContext)
+                    else tracectx.new_trace()
+                )
+                self.trace = stack.enter_context(tracectx.activate(ctx))
             stack.callback(self._unbind_all)
         except BaseException:
             stack.close()
@@ -175,6 +191,7 @@ class Session:
         finally:
             self.ledger = None
             self.recorder = None
+            self.trace = None
 
     def bind(self, runtime: Any, health: Any) -> Any:
         """Attach ``health`` to ``runtime``'s step path for this session.

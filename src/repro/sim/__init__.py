@@ -15,6 +15,8 @@ from .engine import (
     SimulationError,
     Simulator,
     Timeout,
+    event_kind,
+    set_event_hook,
 )
 from .export import (
     events_to_trace,
@@ -40,8 +42,10 @@ __all__ = [
     "Semaphore",
     "Trace",
     "TraceInterval",
+    "event_kind",
     "events_to_trace",
     "lane_order",
+    "set_event_hook",
     "read_chrome_trace",
     "merge_traces",
     "trace_to_events",

@@ -156,6 +156,39 @@ class _StartSentinelType:
 _StartSentinel = _StartSentinelType()
 
 
+#: Optional per-event dispatch hook (installed by :mod:`repro.obs.profile`).
+#: ``None`` is the permanent fast path: the event loop pays one module
+#: global read and a ``None`` check per event — the <2% disabled-overhead
+#: bar in ``bench_obs.py`` covers it.  When set, the hook *replaces* the
+#: dispatch (``hook(callback, arg)`` must invoke ``callback(arg)``), which
+#: lets a profiler time each callback without a second clock read here.
+_event_hook: Callable[[Callable[[Any], None], Any], None] | None = None
+
+
+def set_event_hook(
+    hook: Callable[[Callable[[Any], None], Any], None] | None,
+) -> Callable[[Callable[[Any], None], Any], None] | None:
+    """Install (or clear, with ``None``) the event hook; returns the previous one."""
+    global _event_hook
+    previous = _event_hook
+    _event_hook = hook
+    return previous
+
+
+def event_kind(callback: Callable[[Any], None]) -> str:
+    """The event-type name a dispatch callback belongs to.
+
+    Heap callbacks are bound methods of kernel objects (``Timeout._fire``,
+    ``Process._resume``, ``Event``-callback closures from user code), so
+    the owner's class name is the natural per-event-type key the hot-spot
+    counters aggregate on.
+    """
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        return type(owner).__name__
+    return getattr(callback, "__qualname__", repr(callback))
+
+
 class Simulator:
     """The event loop: a time-ordered heap of callbacks.
 
@@ -215,5 +248,8 @@ class Simulator:
             if time < self.now - 1e-12:
                 raise SimulationError("event scheduled in the past")
             self.now = max(self.now, time)
-            callback(arg)
+            if _event_hook is None:
+                callback(arg)
+            else:
+                _event_hook(callback, arg)
         return self.now

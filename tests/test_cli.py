@@ -362,3 +362,111 @@ class TestFleetCommand:
             assert args.retries == 2
         args = build_parser().parse_args(["obs", "report", "13B", "8", "--jobs", "3"])
         assert args.jobs == 3
+
+
+class TestObsReportTraceId:
+    """``obs report --trace-id``: success plus every error path."""
+
+    def _traced_entry(self, trace_id: str):
+        from repro.obs.ledger import LedgerEntry
+
+        return LedgerEntry(
+            label="evaluate:Ratel/13B/b8@test",
+            policy="Ratel",
+            model="13B",
+            batch_size=8,
+            server="test",
+            feasible=True,
+            metrics={"iteration_s": 1.0},
+            trace_id=trace_id,
+        )
+
+    def test_missing_ledger_is_one_line_error(self, tmp_path):
+        code, text = run_cli(
+            "obs", "report", "--trace-id", "a" * 32,
+            "--ledger", str(tmp_path / "nope.jsonl"),
+        )
+        assert code == 2
+        assert text.startswith("error:")
+        assert len(text.strip().splitlines()) == 1
+
+    def test_empty_ledger_says_how_to_record(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        code, text = run_cli("obs", "report", "--trace-id", "a" * 32, "--ledger", str(path))
+        assert code == 2
+        assert "is empty" in text
+        assert "--ledger" in text  # the actionable part
+
+    def test_unknown_trace_id_reports_scan_size(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "ledger.jsonl")
+        RunLedger(path).append(self._traced_entry("b" * 32))
+        code, text = run_cli("obs", "report", "--trace-id", "a" * 32, "--ledger", path)
+        assert code == 1
+        assert "no entries with trace_id" in text
+        assert "1 entries scanned" in text
+
+    def test_matching_trace_id_lists_records(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = RunLedger(path)
+        ledger.append(self._traced_entry("a" * 32))
+        ledger.append(self._traced_entry("b" * 32))
+        code, text = run_cli("obs", "report", "--trace-id", "a" * 32, "--ledger", path)
+        assert code == 0
+        assert "1 ledger record(s)" in text
+        assert "evaluate" in text
+
+    def test_model_and_batch_required_without_trace_id(self):
+        code, text = run_cli("obs", "report")
+        assert code == 2
+        assert "model and batch are required" in text
+
+
+class TestObsDiffErrors:
+    """``obs diff`` on unusable operands: one-line error, non-zero exit."""
+
+    def test_missing_file_error_is_actionable(self, tmp_path):
+        code, text = run_cli(
+            "obs", "diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        )
+        assert code == 2
+        assert text.startswith("error:")
+        assert "pass a run ledger" in text
+        assert len(text.strip().splitlines()) == 1
+
+    def test_empty_ledger_says_how_to_record(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        code, text = run_cli("obs", "diff", str(path), str(path))
+        assert code == 2
+        assert "no ledger entry" in text
+        assert "--ledger" in text  # the actionable part
+
+
+class TestObsProfileCommand:
+    def test_profiles_and_writes_all_three_artifacts(self, tmp_path):
+        speedscope = str(tmp_path / "p.speedscope.json")
+        folded = str(tmp_path / "p.folded.txt")
+        summary = str(tmp_path / "p.txt")
+        code, text = run_cli(
+            "obs", "profile", "6B", "8",
+            "-o", speedscope, "--collapsed", folded, "--summary", summary,
+        )
+        assert code == 0
+        assert "cold sweep profile" in text
+        doc = json.load(open(speedscope))
+        assert doc["profiles"][0]["samples"]
+        assert open(folded).read().strip()
+        assert "attributed" in open(summary).read()
+
+    def test_infeasible_point_fails(self, tmp_path):
+        code, text = run_cli(
+            "obs", "profile", "412B", "1", "--memory-gb", "128",
+            "-o", str(tmp_path / "p.json"),
+        )
+        assert code == 1
+        assert "does NOT fit" in text

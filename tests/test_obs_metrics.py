@@ -216,6 +216,15 @@ class TestExporters:
         text = registry.snapshot().to_prometheus()
         assert '\\"hi\\"' in text and "\\n" in text
 
+    def test_prometheus_escapes_backslashes_first(self):
+        # A literal backslash must come out as \\ — and escaping it after
+        # the quote/newline passes would corrupt those sequences, so the
+        # value below exercises all three at once.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(path='C:\\logs\n"run"')
+        text = registry.snapshot().to_prometheus()
+        assert 'path="C:\\\\logs\\n\\"run\\""' in text
+
 
 class TestSweepMetrics:
     """The sweep meters its own orchestration through the registry."""

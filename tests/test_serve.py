@@ -295,7 +295,39 @@ class TestHTTP:
         self._post(server, "/v1/whatif", {"model": "6B", "batch_size": 4})
         with urllib.request.urlopen(self._url(server, "/metrics")) as response:
             text = response.read().decode()
+            content_type = response.headers["Content-Type"]
         assert "requests_accepted_total" in text
+        # Prometheus scrapers key on the exposition-format version.
+        assert content_type == "text/plain; version=0.0.4"
+
+    def test_metrics_parse_under_exposition_grammar(self, server):
+        # Every line of /metrics must be a comment, a # TYPE header, or a
+        # sample `name{labels} value` — and histogram buckets cumulative.
+        import re
+
+        self._post(server, "/v1/whatif", {"model": "6B", "batch_size": 4})
+        with urllib.request.urlopen(self._url(server, "/metrics")) as response:
+            text = response.read().decode()
+        name = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+        label = rf'{name}="(?:[^"\\]|\\["\\n])*"'
+        sample = re.compile(rf"^{name}(?:\{{{label}(?:,{label})*\}})? -?[0-9.e+\-]+$|^{name}(?:\{{.*\}})? \+Inf$")
+        typed = re.compile(rf"^# TYPE {name} (counter|gauge|histogram)$")
+        buckets: dict[str, list[float]] = {}
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert typed.match(line) or line.startswith("# HELP"), line
+                continue
+            assert sample.match(line), f"not exposition-shaped: {line!r}"
+            match = re.match(rf'^({name})_bucket\{{.*le="([^"]+)".*\}} ([0-9.e+\-]+|\+?Inf)?$', line)
+            if match:
+                buckets.setdefault(match.group(1), []).append(
+                    float(line.rsplit(" ", 1)[1])
+                )
+        assert buckets, "no histogram buckets in /metrics"
+        for series, counts in buckets.items():
+            assert counts == sorted(counts), f"{series} buckets not cumulative"
 
     def test_validation_error_is_400(self, server):
         status, body, _ = self._post(server, "/v1/whatif", {"model": "13B"})

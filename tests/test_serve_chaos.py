@@ -14,8 +14,14 @@ from repro.serve import run_chaos_drill
 
 
 @pytest.fixture(scope="module")
-def report(tmp_path_factory):
-    return run_chaos_drill(str(tmp_path_factory.mktemp("serve-drill")), seed=3)
+def drill(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("serve-drill"))
+    return root, run_chaos_drill(root, seed=3)
+
+
+@pytest.fixture(scope="module")
+def report(drill):
+    return drill[1]
 
 
 def test_drill_passes_all_slos(report):
@@ -78,3 +84,29 @@ def test_ext_serve_experiment_renders(report):
     rendered = audit.render()
     assert "drill verdict" in rendered
     assert "FAIL" not in rendered
+
+
+def test_drill_trace_retrieves_ledger_records(drill):
+    # The acceptance round trip: the drill surfaces the causal trace of
+    # its first request, and that single trace_id pulls the matching
+    # serve records back out of the drill's own ledger.
+    import io
+    import os
+
+    from repro.cli import main
+
+    root, report = drill
+    assert len(report.sample_trace_id) == 32
+    out = io.StringIO()
+    code = main(
+        [
+            "obs", "report",
+            "--trace-id", report.sample_trace_id,
+            "--ledger", os.path.join(root, "serve-ledger.jsonl"),
+        ],
+        out=out,
+    )
+    text = out.getvalue()
+    assert code == 0, text
+    assert "ledger record(s)" in text
+    assert "[serve" in text

@@ -1,0 +1,135 @@
+"""The causal trace context (:mod:`repro.obs.tracectx`).
+
+Identity validation, W3C ``traceparent`` round trips (including every
+lenient-parse rejection the spec calls for), child derivation, the
+ambient ContextVar scopes, and bit-exact payload serialisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import tracectx
+from repro.obs.tracectx import TraceContext, TraceError
+
+hex_trace = st.text("0123456789abcdef", min_size=32, max_size=32).filter(
+    lambda s: set(s) != {"0"}
+)
+hex_span = st.text("0123456789abcdef", min_size=16, max_size=16).filter(
+    lambda s: set(s) != {"0"}
+)
+
+
+class TestTraceContext:
+    def test_new_trace_is_a_valid_root(self):
+        ctx = tracectx.new_trace()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id == ""
+
+    def test_child_keeps_trace_and_links_parent(self):
+        root = tracectx.new_trace()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trace_id": "xyz", "span_id": "a" * 16},
+            {"trace_id": "A" * 32, "span_id": "a" * 16},  # uppercase
+            {"trace_id": "0" * 32, "span_id": "a" * 16},  # all-zero
+            {"trace_id": "a" * 32, "span_id": "0" * 16},
+            {"trace_id": "a" * 32, "span_id": "a" * 8},  # short
+            {"trace_id": "a" * 32, "span_id": "a" * 16, "parent_id": "nope"},
+        ],
+    )
+    def test_invalid_ids_rejected(self, kwargs):
+        with pytest.raises(TraceError):
+            TraceContext(**kwargs)
+
+    def test_frozen(self):
+        ctx = tracectx.new_trace()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "b" * 32
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = tracectx.new_trace()
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed is not None
+        assert (parsed.trace_id, parsed.span_id) == (ctx.trace_id, ctx.span_id)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-abc-def-01",  # wrong lengths
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # forbidden version
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+        ],
+    )
+    def test_lenient_parse_returns_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        header = "  00-" + "A" * 32 + "-" + "B" * 16 + "-01  "
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "a" * 32
+
+
+class TestAmbientScope:
+    def test_no_trace_by_default(self):
+        assert tracectx.current() is None
+        assert tracectx.current_trace_id() == ""
+        assert tracectx.current_payload() is None
+
+    def test_activate_scopes_and_restores(self):
+        ctx = tracectx.new_trace()
+        with tracectx.activate(ctx) as active:
+            assert active is ctx
+            assert tracectx.current() is ctx
+            assert tracectx.current_trace_id() == ctx.trace_id
+        assert tracectx.current() is None
+
+    def test_activate_restores_on_error(self):
+        ctx = tracectx.new_trace()
+        with pytest.raises(RuntimeError):
+            with tracectx.activate(ctx):
+                raise RuntimeError("boom")
+        assert tracectx.current() is None
+
+    def test_child_scope_derives_under_ambient(self):
+        root = tracectx.new_trace()
+        with tracectx.activate(root):
+            with tracectx.child_scope() as child:
+                assert child is not None
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                assert tracectx.current() is child
+            assert tracectx.current() is root
+
+    def test_child_scope_is_noop_outside_a_trace(self):
+        with tracectx.child_scope() as child:
+            assert child is None
+            assert tracectx.current() is None
+
+
+class TestPayload:
+    @given(trace_id=hex_trace, span_id=hex_span, parent_id=st.one_of(st.just(""), hex_span))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_round_trip_is_bit_exact(self, trace_id, span_id, parent_id):
+        ctx = TraceContext(trace_id=trace_id, span_id=span_id, parent_id=parent_id)
+        assert TraceContext.from_payload(ctx.to_payload()) == ctx
+
+    @pytest.mark.parametrize("payload", [None, [], {}, {"span_id": "a" * 16}, "str"])
+    def test_non_payloads_rejected(self, payload):
+        with pytest.raises(TraceError):
+            TraceContext.from_payload(payload)
