@@ -26,12 +26,22 @@ import time
 
 import pytest
 
-from repro.fleet import Fleet, bursty_trace, run_bursty_drill, standard_fleet_nodes
+from repro.fleet import (
+    Fleet,
+    FleetJournal,
+    bursty_trace,
+    run_bursty_drill,
+    standard_fleet_nodes,
+)
 
 from conftest import write_bench_json
 
 #: Generous bar for scheduling 400 jobs with a stub oracle (seconds).
 MAX_ENGINE_WALL_S = 5.0
+
+#: Bound on the write-ahead journal's cost relative to the journal-off
+#: schedule (the ISSUE's acceptance bar).
+MAX_JOURNAL_OVERHEAD_PCT = 5.0
 
 _DRILL_KEYS = (
     "makespan_s",
@@ -130,4 +140,68 @@ def test_engine_overhead_scales_to_hundreds_of_jobs():
     assert wall < MAX_ENGINE_WALL_S, (
         f"scheduling {n_jobs} stub jobs took {wall:.2f} s "
         f"(bar {MAX_ENGINE_WALL_S:.0f} s)"
+    )
+
+
+def _timed_drill(journal: str | None) -> float:
+    started = time.perf_counter()
+    run_bursty_drill("sjf", degrade=True, journal=journal, checkpoint_every=3)
+    return time.perf_counter() - started
+
+
+@pytest.mark.bench_smoke
+def test_journal_overhead_within_bound(tmp_path):
+    """The WAL must cost < 5% of the journal-off drill.
+
+    Both arms run the identical resumable drill (``checkpoint_every=3``,
+    so the event sequence — and through the sweep cache, the set of
+    oracle evaluations — matches exactly); only the journal differs.
+    The bound is computed from the *attributable* cost (measured
+    per-append wall x records the drill actually wrote) against the
+    journal-off wall; the raw wall-vs-wall A/B is recorded too, but
+    only informationally — at ~100 ms timescales scheduler wall is
+    noisier than the journal's contribution.
+    """
+    _timed_drill(None)  # warm the sweep cache: both arms hit it equally
+    off_wall = _timed_drill(None)
+    journal_path = str(tmp_path / "journal.jsonl")
+    on_wall = _timed_drill(journal_path)
+    probe = FleetJournal(journal_path)
+    records = len(probe.records())
+    probe.close()
+
+    micro = FleetJournal(str(tmp_path / "micro.jsonl"))
+    n_appends = 5000
+    started = time.perf_counter()
+    for i in range(n_appends):
+        micro.append(
+            "checkpoint", float(i), job_id="job-000", node="box-4090", iterations=3
+        )
+    per_append_s = (time.perf_counter() - started) / n_appends
+    micro.close()
+
+    attributable_pct = 100.0 * (records * per_append_s) / off_wall
+    ab_pct = 100.0 * (on_wall - off_wall) / off_wall
+    write_bench_json(
+        "fleet",
+        {
+            "journal": {
+                "records": records,
+                "per_append_us": per_append_s * 1e6,
+                "journal_off_wall_s": off_wall,
+                "journal_on_wall_s": on_wall,
+                "attributable_overhead_pct": attributable_pct,
+                "ab_overhead_pct": ab_pct,
+                "max_overhead_pct": MAX_JOURNAL_OVERHEAD_PCT,
+            }
+        },
+    )
+    print(
+        f"\nfleet journal: {records} records at {per_append_s * 1e6:.0f} us/append "
+        f"-> {attributable_pct:.2f}% of the journal-off drill "
+        f"(A/B {ab_pct:+.1f}%, bound {MAX_JOURNAL_OVERHEAD_PCT:.0f}%)"
+    )
+    assert attributable_pct < MAX_JOURNAL_OVERHEAD_PCT, (
+        f"journaling cost {attributable_pct:.2f}% of the journal-off "
+        f"drill (bar {MAX_JOURNAL_OVERHEAD_PCT:.0f}%)"
     )

@@ -134,7 +134,8 @@ def build_parser() -> argparse.ArgumentParser:
             run_options_parent(
                 adapt_help="inject the standard mid-trace node fault (drive "
                 "loss + bandwidth sag on the 4090 box) and exercise the "
-                "drift-to-rescheduling escalation path"
+                "drift-to-rescheduling escalation path",
+                journal_flags=True,
             )
         ],
     )
@@ -489,14 +490,20 @@ def cmd_fleet(args, out) -> int:
 
     opts = RunOptions.from_args(args)
     opts.apply()
-    outcome = run_bursty_drill(
-        args.scheduler,
-        n_jobs=args.arrivals,
-        seed=args.seed,
-        ledger=opts.ledger,
-        degrade=opts.adapt,
-        optimizer_mode=opts.optimizer_mode,
-    )
+    if opts.resume:
+        outcome = _fleet_resume(args, opts, out)
+        if isinstance(outcome, int):
+            return outcome
+    else:
+        outcome = run_bursty_drill(
+            args.scheduler,
+            n_jobs=args.arrivals,
+            seed=args.seed,
+            ledger=opts.ledger,
+            degrade=opts.adapt,
+            optimizer_mode=opts.optimizer_mode,
+            journal=opts.journal,
+        )
     metrics = outcome.metrics
     print(
         f"fleet: {outcome.scheduler} over {metrics['jobs']} jobs on "
@@ -526,7 +533,50 @@ def cmd_fleet(args, out) -> int:
             print(f"  {event}", file=out)
     if opts.ledger:
         print(f"recorded fleet decisions to {opts.ledger}", file=out)
+    if opts.journal:
+        print(f"journaled scheduler transitions to {opts.journal}", file=out)
     return 0
+
+
+def _fleet_resume(args, opts, out):
+    """Recover a crashed fleet run from its journal and drain it.
+
+    Returns the drained :class:`~repro.fleet.FleetOutcome`, or the exit
+    code ``2`` (after a one-line ``error:`` message) when the journal is
+    missing, empty, or wholly torn.
+    """
+    from repro.fleet import Fleet, FleetJournal, standard_fleet_nodes
+
+    if not opts.journal:
+        print("error: --resume requires --journal PATH", file=out)
+        return 2
+    if not os.path.exists(opts.journal):
+        print(f"error: journal {opts.journal} does not exist", file=out)
+        return 2
+    journal = FleetJournal(opts.journal)
+    repaired = journal.repair()
+    if not journal.records():
+        print(
+            f"error: journal {opts.journal} holds no parseable records "
+            "(empty or wholly torn)",
+            file=out,
+        )
+        return 2
+    fleet = Fleet.recover(
+        journal,
+        standard_fleet_nodes(opts.optimizer_mode),
+        args.scheduler,
+        ledger=opts.ledger,
+    )
+    requeued = len(fleet._queue)
+    terminal = sum(1 for job_id in fleet._order if fleet.result(job_id) is not None)
+    tail = f" (repaired {repaired} torn bytes)" if repaired else ""
+    print(
+        f"resumed from {opts.journal}: {terminal} jobs already terminal, "
+        f"{requeued} requeued at their last checkpoint{tail}",
+        file=out,
+    )
+    return fleet.drain()
 
 
 def cmd_experiments(args, out) -> int:

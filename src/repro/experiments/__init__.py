@@ -15,6 +15,7 @@ from . import (
     ablations,
     ext_adaptive,
     ext_fleet,
+    ext_fleet_crash,
     ext_overlap,
     ext_resilience,
     ext_seq_len,
@@ -50,6 +51,7 @@ ALL_MODULES = (
     ext_resilience,
     ext_adaptive,
     ext_fleet,
+    ext_fleet_crash,
     ext_serve,
     ext_overlap,
     traffic_report,

@@ -21,6 +21,10 @@ all three substrates of the reproduction:
   :class:`FlakyPolicy`, :class:`CrashPolicy`, :class:`SlowPolicy`)
   produce sweep points that raise, crash their worker process, or hang,
   exercising the runner's retry / timeout / quarantine machinery.
+* **fleet** — :class:`NodeFaultSchedule` fail-stops whole nodes under
+  the ``repro.fleet`` scheduler (:class:`NodeCrash` with optional
+  rejoin, :class:`NodeFlap` for intermittent failures), exercising
+  checkpoint-aware requeue and the anti-flap quarantine hysteresis.
 
 Everything is deterministic: schedules fire at fixed simulation times
 and the injector draws from a seeded RNG, so a fault scenario replays
@@ -36,6 +40,7 @@ from .chaos import (
     SlowPolicy,
 )
 from .inject import FaultInjected, FaultInjector, InjectedIOError, with_retries
+from .nodes import NodeCrash, NodeFaultSchedule, NodeFlap
 from .schedule import (
     BandwidthSag,
     FaultSchedule,
@@ -56,6 +61,9 @@ __all__ = [
     "FlakyThenSlowPolicy",
     "InjectedIOError",
     "LatencyStall",
+    "NodeCrash",
+    "NodeFaultSchedule",
+    "NodeFlap",
     "PoisonPolicy",
     "SSDDropout",
     "SlowPolicy",

@@ -1,0 +1,148 @@
+"""Fleet-level node fault schedules: fail-stop, rejoin, and flapping.
+
+The third substrate of the fault vocabulary (after the simulator's
+:class:`~repro.faults.schedule.FaultSchedule` and the runtime's
+:class:`~repro.faults.inject.FaultInjector`): whole *nodes* dying under
+the fleet scheduler.  Three event kinds:
+
+* :class:`NodeCrash` — a fail-stop at time ``at``: the node drops off
+  the fleet, its running job is rolled back to its last checkpoint and
+  requeued.  ``rejoin_after`` brings it back that many seconds later
+  (``None`` = stays dead).
+* :class:`NodeFlap` — an intermittently failing box: ``cycles``
+  crash/rejoin pairs, each ``down_s`` dead then ``up_s`` alive.  This
+  is the anti-flap hysteresis's adversary — enough crashes inside the
+  fleet's flap window and the node is quarantined instead of being
+  rescheduled onto again and again.
+
+A :class:`NodeFaultSchedule` validates the set (same discipline as the
+simulator schedule: duplicate and physically-meaningless events are
+rejected) and :meth:`~NodeFaultSchedule.install` arms everything onto a
+:class:`~repro.fleet.cluster.Fleet` through its public
+``inject_crash``/``inject_rejoin`` surface — the dependency points from
+``repro.faults`` at ``repro.fleet``'s interface, never the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schedule import FaultScheduleError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fail-stops at ``at`` (rejoining ``rejoin_after`` s later)."""
+
+    at: float
+    node: str
+    rejoin_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultScheduleError(f"fault time cannot be negative, got {self.at}")
+        if not self.node:
+            raise FaultScheduleError("node crash needs a node name")
+        if self.rejoin_after is not None and self.rejoin_after <= 0:
+            raise FaultScheduleError(
+                f"rejoin_after must be positive, got {self.rejoin_after}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeFlap:
+    """``cycles`` crash/rejoin pairs starting at ``at`` (``down_s`` dead,
+    ``up_s`` alive per cycle) — an intermittently failing node."""
+
+    at: float
+    node: str
+    cycles: int = 3
+    down_s: float = 60.0
+    up_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultScheduleError(f"fault time cannot be negative, got {self.at}")
+        if not self.node:
+            raise FaultScheduleError("node flap needs a node name")
+        if self.cycles < 2:
+            raise FaultScheduleError(
+                f"a flap needs >= 2 cycles (1 is just a crash), got {self.cycles}"
+            )
+        if self.down_s <= 0 or self.up_s <= 0:
+            raise FaultScheduleError(
+                f"flap down_s/up_s must be positive, got {self.down_s}/{self.up_s}"
+            )
+
+    def crashes(self) -> list[NodeCrash]:
+        """The flap expanded into its individual crash/rejoin pairs."""
+        period = self.down_s + self.up_s
+        return [
+            NodeCrash(
+                at=self.at + cycle * period,
+                node=self.node,
+                rejoin_after=self.down_s,
+            )
+            for cycle in range(self.cycles)
+        ]
+
+
+NodeFaultEvent = NodeCrash | NodeFlap
+
+
+@dataclass(frozen=True)
+class NodeFaultSchedule:
+    """An immutable set of timed node faults for one fleet run."""
+
+    events: tuple[NodeFaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[NodeFaultEvent] = set()
+        for event in self.events:
+            if not isinstance(event, (NodeCrash, NodeFlap)):
+                raise FaultScheduleError(f"unknown node fault event {event!r}")
+            if event in seen:
+                raise FaultScheduleError(
+                    f"duplicate node fault event {event!r}: the same fault "
+                    "cannot be scheduled twice in one run"
+                )
+            seen.add(event)
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        """Reject overlapping dead windows on one node.
+
+        A crash landing inside another crash's dead window would be a
+        no-op the schedule silently swallows (the node is already down);
+        physically distinct faults must have disjoint windows.
+        """
+        by_node: dict[str, list[NodeCrash]] = {}
+        for crash in self._expanded():
+            by_node.setdefault(crash.node, []).append(crash)
+        for node, crashes in by_node.items():
+            crashes.sort(key=lambda c: c.at)
+            for prev, nxt in zip(crashes, crashes[1:]):
+                prev_end = prev.at + (prev.rejoin_after or float("inf"))
+                if nxt.at < prev_end:
+                    raise FaultScheduleError(
+                        f"overlapping node faults on {node!r}: a crash at "
+                        f"{nxt.at} lands inside the dead window starting at "
+                        f"{prev.at} — the second crash would be a silent no-op"
+                    )
+
+    def _expanded(self) -> list[NodeCrash]:
+        crashes: list[NodeCrash] = []
+        for event in self.events:
+            if isinstance(event, NodeFlap):
+                crashes.extend(event.crashes())
+            else:
+                crashes.append(event)
+        return crashes
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def install(self, fleet) -> None:
+        """Arm every fault onto ``fleet`` via its injection surface."""
+        for crash in self._expanded():
+            fleet.inject_crash(crash.at, crash.node, rejoin_after=crash.rejoin_after)

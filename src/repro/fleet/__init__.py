@@ -26,6 +26,14 @@ fleet-level rescheduling: a degraded node's running job is re-priced on
 the degraded spec and requeued/migrated when it blows past the migrate
 threshold, with every decision recorded to the run ledger as a
 ``kind="fleet"`` entry.
+
+Crash safety: pass ``journal=PATH`` and every transition is write-ahead
+logged; after a coordinator crash, :meth:`Fleet.recover` rebuilds the
+fleet from the journal with exactly-once job accounting, requeueing
+live jobs at their last checkpoint (``JobSpec.checkpoint_every``).
+:func:`run_crash_drill` stages the whole scenario — degradation, node
+fail-stop, a flapping (quarantined) node, coordinator ``kill -9`` with
+a torn journal tail — and scores zero-lost / zero-duplicated recovery.
 """
 
 from .api import (
@@ -37,6 +45,8 @@ from .api import (
     percentile,
 )
 from .cluster import Fleet, FleetOutcome, JobState
+from .drill import CrashDrillReport, run_crash_drill
+from .journal import FleetJournal, JobFold, JournalFold
 from .node import Node
 from .oracle import CostOracle
 from .schedulers import (
@@ -67,6 +77,11 @@ __all__ = [
     "JobState",
     "Node",
     "CostOracle",
+    "CrashDrillReport",
+    "FleetJournal",
+    "JobFold",
+    "JournalFold",
+    "run_crash_drill",
     "SCHEDULERS",
     "BinPackScheduler",
     "FifoScheduler",

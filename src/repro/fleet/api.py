@@ -44,6 +44,11 @@ EVENT_KINDS = (
     "degrade",
     "restore",
     "scheduler_error",
+    "checkpoint",
+    "node_crash",
+    "node_rejoin",
+    "quarantine",
+    "recover",
 )
 
 
@@ -72,6 +77,11 @@ class JobSpec:
     hardware_class: str | None = None
     submit_at: float = 0.0
     trace_id: str = ""
+    #: Checkpoint cadence in iterations (``None`` = the job never
+    #: checkpoints).  Preemption, migration and crash recovery roll the
+    #: job back to its last checkpoint — only checkpointed work
+    #: survives losing the node, so ``None`` means full restart.
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -84,6 +94,10 @@ class JobSpec:
             raise FleetError(f"job {self.job_id}: deadline_s must be positive")
         if self.submit_at < 0:
             raise FleetError(f"job {self.job_id}: submit_at cannot be negative")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise FleetError(
+                f"job {self.job_id}: checkpoint_every must be >= 1 when set"
+            )
 
     def to_payload(self) -> dict[str, Any]:
         """JSON-serialisable payload; :meth:`from_payload` round-trips it bit-exactly."""
@@ -143,6 +157,10 @@ class JobResult:
     migrations: int = 0
     reason: str | None = None
     nodes_visited: tuple[str, ...] = field(default_factory=tuple)
+    #: Iterations executed then rolled back (redone work): every unseat
+    #: — preemption, migration, node crash, coordinator crash — loses
+    #: whatever ran past the job's last checkpoint.
+    lost_iterations: int = 0
 
     @property
     def completed(self) -> bool:
@@ -196,6 +214,7 @@ class JobResult:
             "migrations": self.migrations,
             "reason": self.reason,
             "nodes_visited": list(self.nodes_visited),
+            "lost_iterations": self.lost_iterations,
         }
 
 

@@ -24,6 +24,19 @@ and requeues it so the scheduler can migrate it to a healthy node.
 Every decision lands in the run ledger as a ``kind="fleet"`` entry, so
 ``repro obs diff``/``html`` cover scheduling runs the same way they
 cover evaluations.
+
+**Crash safety.**  With a ``journal`` attached every transition is
+write-ahead logged through :class:`~repro.fleet.journal.FleetJournal`,
+and :meth:`Fleet.recover` rebuilds a live fleet from the journal after
+``kill -9`` of the coordinator: terminal jobs stay terminal (exactly
+once — never re-run, never double-counted), live jobs requeue at their
+last checkpoint.  Unseating a job — preemption, migration off a
+degraded node, node fail-stop, coordinator crash — rolls it back to its
+last durable checkpoint (``JobSpec.checkpoint_every``; ``None`` means
+full restart), because only checkpointed work survives losing the node.
+Node fail-stop arrives via :meth:`inject_crash`; a node that crashes
+``flap_threshold`` times inside ``flap_window`` seconds is quarantined
+(anti-flap hysteresis) instead of thrashing migrations.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from repro.obs import tracectx
 from repro.obs.ledger import LedgerEntry, RunLedger
 
 from .api import FleetError, FleetEvent, JobResult, JobSpec, percentile
+from .journal import FleetJournal, JobFold
 from .node import Node
 from .oracle import CostOracle
 from .schedulers import Scheduler, make_scheduler
@@ -63,6 +77,11 @@ class JobState:
     preemptions: int = 0
     migrations: int = 0
     nodes_visited: list[str] = field(default_factory=list)
+    #: Total completed iterations durably checkpointed (monotone).
+    #: Unseating the job rolls ``remaining_iterations`` back to here.
+    checkpointed_iterations: int = 0
+    #: Iterations executed then rolled back (redone work).
+    lost_iterations: int = 0
 
 
 @dataclass
@@ -100,7 +119,11 @@ class Fleet:
     ``ledger`` (path or :class:`RunLedger`) records every fleet decision
     as a ``kind="fleet"`` entry; ``migrate_threshold`` is the degraded/
     healthy iteration-time ratio past which a running job is requeued
-    off a degraded node instead of riding it out.
+    off a degraded node instead of riding it out.  ``journal`` (path or
+    :class:`FleetJournal`) write-ahead logs every transition so
+    :meth:`recover` can rebuild the fleet after a coordinator crash.
+    ``flap_threshold`` crashes of one node within ``flap_window``
+    seconds quarantine it (anti-flap hysteresis).
     """
 
     def __init__(
@@ -111,6 +134,9 @@ class Fleet:
         oracle: CostOracle | None = None,
         ledger: str | RunLedger | None = None,
         migrate_threshold: float = 1.3,
+        journal: str | FleetJournal | None = None,
+        flap_window: float = 3600.0,
+        flap_threshold: int = 3,
     ) -> None:
         if not nodes:
             raise FleetError("a fleet needs at least one node")
@@ -121,12 +147,22 @@ class Fleet:
             raise FleetError(
                 f"migrate_threshold must exceed 1, got {migrate_threshold}"
             )
+        if flap_window <= 0:
+            raise FleetError(f"flap_window must be positive, got {flap_window}")
+        if flap_threshold < 2:
+            raise FleetError(
+                f"flap_threshold must be >= 2 (1 would quarantine on any "
+                f"crash), got {flap_threshold}"
+            )
         self.nodes = list(nodes)
         self._by_name = {node.name: node for node in nodes}
         self.scheduler = make_scheduler(scheduler)
         self.oracle = oracle if oracle is not None else CostOracle()
         self.ledger = RunLedger(ledger) if isinstance(ledger, str) else ledger
+        self.journal = FleetJournal(journal) if isinstance(journal, str) else journal
         self.migrate_threshold = migrate_threshold
+        self.flap_window = flap_window
+        self.flap_threshold = flap_threshold
         self.now = 0.0
         self.events: list[FleetEvent] = []
         self._jobs: dict[str, JobState] = {}
@@ -162,6 +198,14 @@ class Fleet:
         self._job_seq += 1
         self._jobs[spec.job_id] = state
         self._order.append(spec.job_id)
+        # Journal-first: the submit is durable before the arrival can
+        # have any scheduling consequence.
+        self._jrec(
+            "submit",
+            job=spec.to_payload(),
+            seq=state.seq,
+            submitted_at=state.submitted_at,
+        )
         self._push(state.submitted_at, "arrive", spec.job_id)
         return spec.job_id
 
@@ -183,6 +227,33 @@ class Fleet:
             {"node": node, "failed_ssds": failed_ssds, "bw_sag": bw_sag, "restore": restore},
         )
 
+    def inject_crash(
+        self, at: float, node: str, *, rejoin_after: float | None = None
+    ) -> None:
+        """Schedule a node fail-stop (optionally rejoining later).
+
+        The crash unseats the node's running job — rolled back to its
+        last checkpoint — and requeues it through the same escalation
+        path degradations use.  ``rejoin_after`` seconds later the node
+        comes back (still quarantined if the flap hysteresis tripped).
+        """
+        if node not in self._by_name:
+            raise FleetError(f"unknown node {node!r}")
+        if rejoin_after is not None and rejoin_after <= 0:
+            raise FleetError(
+                f"rejoin_after must be positive, got {rejoin_after}"
+            )
+        at = max(self.now, at)
+        self._push(at, "node_crash", node)
+        if rejoin_after is not None:
+            self._push(at + rejoin_after, "node_rejoin", node)
+
+    def inject_rejoin(self, at: float, node: str) -> None:
+        """Schedule a crashed node's rejoin (no-op if it is alive)."""
+        if node not in self._by_name:
+            raise FleetError(f"unknown node {node!r}")
+        self._push(max(self.now, at), "node_rejoin", node)
+
     def run_until(self, until: float) -> None:
         """Advance the fleet clock, processing every event up to ``until``."""
         self._pump(until)
@@ -200,6 +271,203 @@ class Fleet:
         """The terminal record for one job (``None`` while in flight)."""
         return self._results.get(job_id)
 
+    # -- crash recovery --------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal: str | FleetJournal,
+        nodes: list[Node],
+        scheduler: str | Scheduler = "sjf",
+        *,
+        oracle: CostOracle | None = None,
+        ledger: str | RunLedger | None = None,
+        migrate_threshold: float = 1.3,
+        flap_window: float = 3600.0,
+        flap_threshold: int = 3,
+    ) -> "Fleet":
+        """Rebuild a live fleet from its write-ahead journal.
+
+        Exactly-once accounting: jobs the journal marks terminal stay
+        terminal (their results are restored, never re-run), live jobs
+        requeue at their last durable checkpoint (work past it is lost
+        with the crashed coordinator's memory), the fleet clock resumes
+        at the last journaled instant (so priority aging continues from
+        real queue ages), and node health — degradations, fail-stops,
+        quarantines, the flap-hysteresis crash history — is reinstated.
+        The journal's torn tail, if any, is repaired *before* the first
+        post-recovery append; replay is idempotent, so recovering twice
+        from the same journal yields identical fleets.
+
+        ``nodes`` must be fresh instances of the same cluster (node
+        state does not survive the coordinator; the journal is the
+        authority on their health).
+        """
+        fj = FleetJournal(journal) if isinstance(journal, str) else journal
+        fj.repair()
+        fold = fj.fold()
+        fleet = cls(
+            nodes,
+            scheduler,
+            oracle=oracle,
+            ledger=ledger,
+            journal=fj,
+            migrate_threshold=migrate_threshold,
+            flap_window=flap_window,
+            flap_threshold=flap_threshold,
+        )
+        fleet.now = fold.clock
+        for name, health in fold.nodes.items():
+            node = fleet._by_name.get(name)
+            if node is None:
+                continue
+            if health["failed_ssds"] or health["bw_sag"] < 1.0:
+                node.degrade(
+                    failed_ssds=health["failed_ssds"] or None,
+                    bw_sag=health["bw_sag"] if health["bw_sag"] < 1.0 else None,
+                )
+            node.alive = health["alive"]
+            node.quarantined = health["quarantined"]
+            node.crash_times = list(health["crash_times"])
+        requeued = 0
+        for job_id in fold.order:
+            jf = fold.jobs[job_id]
+            state = fleet._restore_job(jf, fold.clock)
+            if not jf.terminal:
+                fleet._queue.append(state)
+                requeued += 1
+        fleet._job_seq = max((jf.seq for jf in fold.jobs.values()), default=-1) + 1
+        fleet._jrec(
+            "recover",
+            jobs=len(fold.order),
+            requeued=requeued,
+            clock=fold.clock,
+            truncated_tail=fold.truncated_tail,
+            repaired_bytes=fj.repaired_bytes,
+        )
+        fleet._event(
+            "recover",
+            detail=(
+                f"{requeued} live jobs requeued, "
+                f"{len(fold.terminal)} terminal restored; "
+                f"clock resumes at {fold.clock:.0f}s"
+            ),
+        )
+        fleet._record(
+            "recover",
+            None,
+            None,
+            jobs=len(fold.order),
+            requeued=requeued,
+            terminal=len(fold.terminal),
+            clock=fold.clock,
+            truncated_tail=fold.truncated_tail,
+            duplicate_terminals=fold.duplicate_terminals,
+        )
+        return fleet
+
+    def _restore_job(self, jf: JobFold, clock: float) -> JobState:
+        """Reinstate one folded job (terminal result or requeue-at-checkpoint)."""
+        state = JobState(
+            spec=jf.spec,
+            seq=jf.seq,
+            submitted_at=jf.submitted_at,
+            remaining_iterations=jf.resume_iterations,
+            first_started_at=jf.first_started_at,
+            checkpointed_iterations=jf.checkpointed,
+            preemptions=jf.preemptions,
+            migrations=jf.migrations,
+            lost_iterations=jf.lost_iterations,
+            nodes_visited=list(jf.nodes_visited),
+        )
+        self._jobs[jf.spec.job_id] = state
+        self._order.append(jf.spec.job_id)
+        if jf.terminal:
+            state.remaining_iterations = 0
+            completed = jf.state == "completed"
+            self._results[jf.spec.job_id] = JobResult(
+                spec=jf.spec,
+                state=jf.state,
+                node=jf.node if completed else None,
+                submitted_at=jf.submitted_at,
+                started_at=jf.first_started_at if completed else None,
+                finished_at=jf.finished_at if completed else None,
+                iteration_time=jf.iter_time if completed else math.nan,
+                preemptions=jf.preemptions,
+                migrations=jf.migrations,
+                reason=jf.reason,
+                nodes_visited=tuple(jf.nodes_visited),
+                lost_iterations=jf.lost_iterations,
+            )
+            return state
+        if jf.state == "running":
+            # The crash unseated it along with the coordinator: whatever
+            # ran past the last checkpoint died in that node's memory.
+            done_run = 0
+            if (
+                jf.assigned_at is not None
+                and not math.isnan(jf.iter_time)
+                and jf.iter_time > 0
+            ):
+                done_run = int((clock - jf.assigned_at) / jf.iter_time + 1e-9)
+                done_run = max(0, min(done_run, jf.remaining))
+            total_done = jf.spec.iterations - jf.remaining + done_run
+            state.lost_iterations += max(0, total_done - jf.checkpointed)
+            state.preemptions += 1
+        return state
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical fleet state (NaN-free) for equality comparisons —
+        the replay-idempotency property compares recovered snapshots."""
+
+        def clean(value: Any) -> Any:
+            if isinstance(value, float) and math.isnan(value):
+                return None
+            if isinstance(value, dict):
+                return {key: clean(val) for key, val in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [clean(item) for item in value]
+            return value
+
+        return {
+            "now": self.now,
+            "scheduler": self.scheduler.name,
+            "queue": sorted(state.spec.job_id for state in self._queue),
+            "jobs": {
+                job_id: clean(
+                    {
+                        "seq": state.seq,
+                        "submitted_at": state.submitted_at,
+                        "remaining": state.remaining_iterations,
+                        "checkpointed": state.checkpointed_iterations,
+                        "lost": state.lost_iterations,
+                        "preemptions": state.preemptions,
+                        "migrations": state.migrations,
+                        "node": state.node,
+                        "nodes_visited": list(state.nodes_visited),
+                    }
+                )
+                for job_id, state in sorted(self._jobs.items())
+            },
+            "results": {
+                job_id: clean(result.to_payload())
+                for job_id, result in sorted(self._results.items())
+            },
+            "nodes": {
+                node.name: {
+                    "alive": node.alive,
+                    "quarantined": node.quarantined,
+                    "failed_ssds": node.failed_ssds,
+                    "bw_sag": node.bw_sag,
+                    "crash_times": list(node.crash_times),
+                    "running": (
+                        node.running.spec.job_id if node.running else None
+                    ),
+                }
+                for node in self.nodes
+            },
+        }
+
     # -- event loop ------------------------------------------------------------
 
     def _push(self, time: float, kind: str, payload: Any) -> None:
@@ -207,6 +475,10 @@ class Fleet:
         self._heap_seq += 1
 
     def _pump(self, until: float | None) -> None:
+        # A recovered fleet starts with a populated queue and an empty
+        # (or future-only) heap: dispatch once up front so requeued jobs
+        # do not wait for the next event to start.
+        self._dispatch()
         while self._heap:
             time = self._heap[0][0]
             if until is not None and time > until:
@@ -219,6 +491,12 @@ class Fleet:
                 self._finish(*payload)
             elif kind == "degrade":
                 self._degrade(payload)
+            elif kind == "ckpt":
+                self._checkpoint(*payload)
+            elif kind == "node_crash":
+                self._node_crash(payload)
+            elif kind == "node_rejoin":
+                self._node_rejoin(payload)
             else:  # pragma: no cover - internal invariant
                 raise FleetError(f"unknown event kind {kind!r}")
             self._dispatch()
@@ -242,6 +520,17 @@ class Fleet:
         node.busy_s += self.now - state.started_at
         node.running = None
         state.remaining_iterations = 0
+        self._jrec(
+            "finish",
+            job_id=job_id,
+            node=node.name,
+            started_at=state.first_started_at,
+            iteration_time=state.iter_time,
+            preemptions=state.preemptions,
+            migrations=state.migrations,
+            lost=state.lost_iterations,
+            nodes_visited=list(state.nodes_visited),
+        )
         result = JobResult(
             spec=state.spec,
             state="completed",
@@ -253,6 +542,7 @@ class Fleet:
             preemptions=state.preemptions,
             migrations=state.migrations,
             nodes_visited=tuple(state.nodes_visited),
+            lost_iterations=state.lost_iterations,
         )
         self._results[job_id] = result
         state.node = None
@@ -278,6 +568,9 @@ class Fleet:
             )
             kind = "degrade"
             detail = "; ".join(str(event) for event in drift) or "no drift raised"
+        self._jrec(
+            kind, node=node.name, failed_ssds=node.failed_ssds, bw_sag=node.bw_sag
+        )
         self._event(kind, node=node.name, detail=detail)
         self._record(
             kind,
@@ -290,50 +583,258 @@ class Fleet:
         self._escalate(node, [event.to_payload() for event in drift])
 
     def _escalate(self, node: Node, drift: list[dict[str, Any]]) -> None:
-        """Node-level drift becomes a fleet-level rescheduling decision."""
+        """Node-level drift becomes a fleet-level rescheduling decision.
+
+        Past the migrate threshold the default is requeue — but a
+        *resumable* job (``checkpoint_every`` set) is priced first:
+        moving means rolling back to the last checkpoint, so the oracle
+        compares staying (continuous credit at the degraded rate)
+        against the best free node's service time from the checkpoint.
+        When the lost-work delta makes moving dearer, the job rides the
+        degradation out instead.  Jobs without checkpoints keep the
+        plain threshold rule (moving always restarts them anyway).
+        """
         state = node.running
         if state is None:
             return
         new_iter = self.oracle.iteration_time(state.spec, node)
         old_iter = state.iter_time
         if math.isnan(new_iter) or new_iter > old_iter * self.migrate_threshold:
+            pricing = self._resume_pricing(state, node, new_iter)
+            if (
+                not math.isnan(new_iter)
+                and state.spec.checkpoint_every is not None
+                and pricing["stay_s"] <= pricing["move_s"]
+            ):
+                self._reprice(state, node, new_iter, old_iter, drift, pricing)
+                return
             reason = (
                 "infeasible on degraded node"
                 if math.isnan(new_iter)
                 else f"degraded {new_iter / old_iter:.2f}x past "
                 f"threshold {self.migrate_threshold:.2f}x"
             )
-            self._unseat(state, node)
+            lost = self._unseat(state, node)
             self._queue.append(state)
             self._event("requeue", job_id=state.spec.job_id, node=node.name, detail=reason)
-            self._record("requeue", state, node.name, reason=reason, drift=drift)
-        elif new_iter != old_iter:
-            # Ride it out, re-timed: fold completed iterations at the old
-            # rate, then reschedule the finish at the degraded rate.
-            assert state.started_at is not None
-            completed = self._completed_iterations(state)
-            node.busy_s += self.now - state.started_at
-            state.remaining_iterations -= completed
-            state.started_at = self.now
-            state.iter_time = new_iter
-            state.version += 1
-            if state.remaining_iterations <= 0:
-                state.remaining_iterations = 0
-                self._push(self.now, "finish", (state.spec.job_id, state.version))
-            else:
-                self._push(
-                    self.now + state.remaining_iterations * new_iter,
-                    "finish",
-                    (state.spec.job_id, state.version),
-                )
+            self._jrec(
+                "requeue",
+                job_id=state.spec.job_id,
+                node=node.name,
+                remaining=state.remaining_iterations,
+                lost=lost,
+                reason=reason,
+            )
             self._record(
-                "reprice",
+                "requeue",
                 state,
                 node.name,
-                iter_time_before=old_iter,
-                iter_time_after=new_iter,
+                reason=reason,
                 drift=drift,
+                lost_iterations=lost,
+                resume_pricing=pricing,
             )
+        elif new_iter != old_iter:
+            self._reprice(state, node, new_iter, old_iter, drift, None)
+
+    def _reprice(
+        self,
+        state: JobState,
+        node: Node,
+        new_iter: float,
+        old_iter: float,
+        drift: list[dict[str, Any]],
+        pricing: dict[str, Any] | None,
+    ) -> None:
+        """Ride it out, re-timed: fold completed iterations at the old
+        rate, then reschedule the finish at the degraded rate."""
+        assert state.started_at is not None
+        completed = self._completed_iterations(state)
+        node.busy_s += self.now - state.started_at
+        state.remaining_iterations -= completed
+        state.started_at = self.now
+        state.iter_time = new_iter
+        state.version += 1
+        if state.remaining_iterations <= 0:
+            state.remaining_iterations = 0
+            self._push(self.now, "finish", (state.spec.job_id, state.version))
+        else:
+            self._push(
+                self.now + state.remaining_iterations * new_iter,
+                "finish",
+                (state.spec.job_id, state.version),
+            )
+            self._arm_checkpoint(state)
+        self._jrec(
+            "reprice",
+            job_id=state.spec.job_id,
+            node=node.name,
+            iter_time=new_iter,
+            remaining=state.remaining_iterations,
+        )
+        self._record(
+            "reprice",
+            state,
+            node.name,
+            iter_time_before=old_iter,
+            iter_time_after=new_iter,
+            drift=drift,
+            **({"resume_pricing": pricing} if pricing is not None else {}),
+        )
+
+    def _resume_pricing(
+        self, state: JobState, node: Node, new_iter: float
+    ) -> dict[str, Any]:
+        """Price stay-vs-move for an unseat decision, lost work included.
+
+        Staying keeps continuous credit (memory is intact) at the
+        degraded rate; moving rolls back to the last checkpoint and runs
+        the resume remainder on the best *free* feasible node.  Both go
+        through the CostOracle, so the delta is Algorithm 1's estimate
+        of the work the migration would throw away.
+        """
+        completed_run = self._completed_iterations(state)
+        continuous = max(0, state.remaining_iterations - completed_run)
+        resume = max(1, state.spec.iterations - state.checkpointed_iterations)
+        total_done = (
+            state.spec.iterations - state.remaining_iterations + completed_run
+        )
+        stay = continuous * new_iter if not math.isnan(new_iter) else math.inf
+        move, target = math.inf, None
+        for other in self.nodes:
+            if other is node or not other.free:
+                continue
+            if not self.oracle.feasible(state.spec, other):
+                continue
+            service = self.oracle.service_time(state.spec, other, resume)
+            if not math.isnan(service) and service < move:
+                move, target = service, other.name
+        return {
+            "stay_s": stay,
+            "move_s": move,
+            "move_node": target,
+            "resume_iterations": resume,
+            "lost_iterations": max(0, total_done - state.checkpointed_iterations),
+        }
+
+    # -- checkpoints and node fail-stop ----------------------------------------
+
+    def _arm_checkpoint(self, state: JobState) -> None:
+        """Schedule the running job's next checkpoint instant.
+
+        Checkpoints stay strictly below the job's finish line (the last
+        useful one is at ``iterations - 1``), so a rollback always
+        leaves at least one iteration to run — and the checkpoint event
+        can never collide with the finish event.
+        """
+        every = state.spec.checkpoint_every
+        if every is None or state.node is None:
+            return
+        done_total = (
+            state.spec.iterations
+            - state.remaining_iterations
+            + self._completed_iterations(state)
+        )
+        if done_total + every >= state.spec.iterations:
+            return
+        self._push(
+            self.now + every * state.iter_time,
+            "ckpt",
+            (state.spec.job_id, state.version),
+        )
+
+    def _checkpoint(self, job_id: str, version: int) -> None:
+        state = self._jobs.get(job_id)
+        if state is None or state.version != version or state.node is None:
+            return  # stale: the job moved or repriced since this was armed
+        done_total = (
+            state.spec.iterations
+            - state.remaining_iterations
+            + self._completed_iterations(state)
+        )
+        done_total = min(done_total, state.spec.iterations - 1)
+        if done_total > state.checkpointed_iterations:
+            state.checkpointed_iterations = done_total
+            self._jrec(
+                "checkpoint", job_id=job_id, node=state.node, iterations=done_total
+            )
+            self._event(
+                "checkpoint",
+                job_id=job_id,
+                node=state.node,
+                detail=f"{done_total}/{state.spec.iterations} iterations durable",
+            )
+        self._arm_checkpoint(state)
+
+    def _node_crash(self, name: str) -> None:
+        node = self._by_name[name]
+        if not node.alive:
+            return  # double-crash injection: already down
+        state = node.running
+        node.crash(self.now)
+        self._jrec("node_crash", node=name)
+        self._event(
+            "node_crash",
+            node=name,
+            detail=f"fail-stop (crash #{len(node.crash_times)})",
+        )
+        self._record("node_crash", None, name, crashes=len(node.crash_times))
+        if state is not None:
+            lost = self._unseat(state, node)
+            self._queue.append(state)
+            reason = "node fail-stop"
+            self._event(
+                "requeue", job_id=state.spec.job_id, node=name, detail=reason
+            )
+            self._jrec(
+                "requeue",
+                job_id=state.spec.job_id,
+                node=name,
+                remaining=state.remaining_iterations,
+                lost=lost,
+                reason=reason,
+            )
+            self._record(
+                "requeue",
+                state,
+                name,
+                reason=reason,
+                lost_iterations=lost,
+                resume_from=state.checkpointed_iterations,
+            )
+        recent = [t for t in node.crash_times if t >= self.now - self.flap_window]
+        if len(recent) >= self.flap_threshold and not node.quarantined:
+            node.quarantined = True
+            self._jrec(
+                "quarantine",
+                node=name,
+                crashes=len(recent),
+                window_s=self.flap_window,
+            )
+            self._event(
+                "quarantine",
+                node=name,
+                detail=(
+                    f"flapping: {len(recent)} crashes within "
+                    f"{self.flap_window:.0f}s"
+                ),
+            )
+            self._record(
+                "quarantine", None, name, crashes=len(recent), window_s=self.flap_window
+            )
+
+    def _node_rejoin(self, name: str) -> None:
+        node = self._by_name[name]
+        if node.alive:
+            return
+        node.rejoin()
+        self._jrec("node_rejoin", node=name)
+        self._event(
+            "node_rejoin",
+            node=name,
+            detail="rejoined (quarantined)" if node.quarantined else "rejoined",
+        )
+        self._record("node_rejoin", None, name, quarantined=node.quarantined)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -458,6 +959,15 @@ class Fleet:
             "finish",
             (state.spec.job_id, state.version),
         )
+        self._arm_checkpoint(state)
+        self._jrec(
+            "assign",
+            job_id=state.spec.job_id,
+            node=node.name,
+            iter_time=iter_time,
+            remaining=state.remaining_iterations,
+            migrated=migrated,
+        )
         kind = "migrate" if migrated else "start"
         self._event(kind, job_id=state.spec.job_id, node=node.name)
         self._record(
@@ -466,39 +976,71 @@ class Fleet:
             node.name,
             iter_time=iter_time,
             remaining_iterations=state.remaining_iterations,
+            resume_from=state.checkpointed_iterations,
         )
 
     def _preempt(self, node: Node) -> None:
         state = node.running
         assert state is not None
-        self._unseat(state, node)
+        lost = self._unseat(state, node)
         self._queue.append(state)
         self._event("preempt", job_id=state.spec.job_id, node=node.name)
-        self._record("preempt", state, node.name)
+        self._jrec(
+            "preempt",
+            job_id=state.spec.job_id,
+            node=node.name,
+            remaining=state.remaining_iterations,
+            lost=lost,
+        )
+        self._record("preempt", state, node.name, lost_iterations=lost)
 
-    def _unseat(self, state: JobState, node: Node) -> None:
-        """Take a running job off its node, crediting completed iterations."""
+    def _unseat(self, state: JobState, node: Node) -> int:
+        """Take a running job off its node, rolling back to its last
+        checkpoint; returns the iterations of work lost.
+
+        Only checkpointed work survives losing the node — the runtime's
+        optimizer state lives in that node's storage hierarchy, so
+        whatever ran past the last durable checkpoint is redone.  A job
+        with ``checkpoint_every=None`` restarts from scratch.
+        """
         assert state.started_at is not None
         completed = self._completed_iterations(state)
+        total_done = (
+            state.spec.iterations - state.remaining_iterations + completed
+        )
+        kept = min(state.checkpointed_iterations, state.spec.iterations - 1)
+        lost = max(0, total_done - kept)
         node.busy_s += self.now - state.started_at
         node.running = None
-        state.remaining_iterations = max(1, state.remaining_iterations - completed)
+        state.remaining_iterations = max(1, state.spec.iterations - kept)
+        state.lost_iterations += lost
         state.node = None
         state.started_at = None
         state.iter_time = math.nan
-        state.version += 1  # invalidate the scheduled finish
+        state.version += 1  # invalidate the scheduled finish + checkpoints
         state.preemptions += 1
+        return lost
 
     def _completed_iterations(self, state: JobState) -> int:
         assert state.started_at is not None
         if math.isnan(state.iter_time) or state.iter_time <= 0:
             return 0
         elapsed = self.now - state.started_at
-        return min(state.remaining_iterations, int(elapsed / state.iter_time))
+        # The epsilon keeps an event landing exactly on an iteration
+        # boundary (e.g. a checkpoint armed at k * iter_time) from
+        # flooring one iteration short through float division.
+        return min(state.remaining_iterations, int(elapsed / state.iter_time + 1e-9))
 
     def _reject(self, state: JobState, reason: str, *, queued: bool = True) -> None:
         if queued and state in self._queue:
             self._queue.remove(state)
+        self._jrec(
+            "reject",
+            job_id=state.spec.job_id,
+            reason=reason,
+            preemptions=state.preemptions,
+            migrations=state.migrations,
+        )
         self._results[state.spec.job_id] = JobResult(
             spec=state.spec,
             state="rejected",
@@ -507,11 +1049,25 @@ class Fleet:
             migrations=state.migrations,
             reason=reason,
             nodes_visited=tuple(state.nodes_visited),
+            lost_iterations=state.lost_iterations,
         )
         self._event("reject", job_id=state.spec.job_id, detail=reason)
         self._record("reject", state, None, reason=reason)
 
     # -- recording -------------------------------------------------------------
+
+    def _jrec(self, rec: str, **fields_: Any) -> None:
+        """Append one transition to the write-ahead journal (never fatal)."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(rec, self.now, **fields_)
+        except OSError:
+            logger.exception(
+                "fleet journal append failed for %s (journal %s); continuing",
+                rec,
+                self.journal.path,
+            )
 
     def _event(
         self,
@@ -611,6 +1167,10 @@ class Fleet:
             "degradations": sum(1 for e in self.events if e.kind == "degrade"),
             "deadlines_met": sum(1 for r in deadlines if r.met_deadline),
             "deadlines_total": len(deadlines),
+            "lost_iterations": sum(r.lost_iterations for r in results),
+            "checkpoints": sum(1 for e in self.events if e.kind == "checkpoint"),
+            "node_crashes": sum(1 for e in self.events if e.kind == "node_crash"),
+            "quarantines": sum(1 for e in self.events if e.kind == "quarantine"),
         }
         return FleetOutcome(
             scheduler=self.scheduler.name,

@@ -62,6 +62,15 @@ class Node:
         self.busy_s = 0.0
         #: The job currently executing here (``None`` when free).
         self.running: "JobState | None" = None
+        #: Fail-stop state: a crashed node is gone from the fleet until
+        #: it rejoins (its running job is requeued by the cluster).
+        self.alive = True
+        #: Anti-flap hysteresis: a node that crashes repeatedly inside
+        #: the fleet's flap window is quarantined — present but never
+        #: scheduled onto — until an operator ``restore()`` clears it.
+        self.quarantined = False
+        #: Fleet-clock instants of every crash (the hysteresis counter).
+        self.crash_times: list[float] = []
         #: The ambient trace the most recent degrade/restore happened
         #: under (``""`` when none) — links a health transition back to
         #: the chaos injection or request that caused it.
@@ -69,7 +78,12 @@ class Node:
         self._monitor: HealthMonitor | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        state = "degraded" if self.degraded else "healthy"
+        if not self.alive:
+            state = "crashed"
+        elif self.quarantined:
+            state = "quarantined"
+        else:
+            state = "degraded" if self.degraded else "healthy"
         return f"Node({self.name!r}, {self.server.gpu.name}, {state})"
 
     # -- health ----------------------------------------------------------------
@@ -89,7 +103,19 @@ class Node:
 
     @property
     def free(self) -> bool:
-        return self.running is None
+        """Schedulable right now: idle, alive, and not quarantined."""
+        return self.running is None and self.alive and not self.quarantined
+
+    def crash(self, now: float) -> None:
+        """Fail-stop at fleet time ``now`` (the cluster unseats the job)."""
+        self.alive = False
+        self.crash_times.append(now)
+        self.last_trace_id = tracectx.current_trace_id()
+
+    def rejoin(self) -> None:
+        """Come back after a fail-stop (quarantine, if any, persists)."""
+        self.alive = True
+        self.last_trace_id = tracectx.current_trace_id()
 
     def current_server(self) -> ServerSpec:
         """The spec as degraded *right now* — what jobs actually run on.
@@ -140,9 +166,15 @@ class Node:
         return self._observe()
 
     def restore(self) -> list[DriftEvent]:
-        """Heal the node back to its provisioned spec."""
+        """Heal the node back to its provisioned spec.
+
+        Also the operator's path out of quarantine: restoring clears the
+        flap history, so the hysteresis counter starts fresh.
+        """
         self.failed_ssds = 0
         self.bw_sag = 1.0
+        self.quarantined = False
+        self.crash_times.clear()
         self.last_trace_id = tracectx.current_trace_id()
         return self._observe()
 

@@ -108,13 +108,17 @@ def bursty_trace(
     seed: int = 7,
     *,
     burst_every: float = BURST_EVERY_S,
+    checkpoint_every: int | None = None,
 ) -> list[JobSpec]:
     """A deterministic bursty arrival trace of ``n_jobs`` mixed requests.
 
     Each burst opens with a long job followed by mediums and shorts
     (arrival order is what FIFO dispatches on), with small intra-burst
     jitter, random priorities, a deadline on some of the short jobs, and
-    an occasional job pinned to the ``dgx`` class.
+    an occasional job pinned to the ``dgx`` class.  ``checkpoint_every``
+    (a constant, so the RNG draw sequence — and with it every other
+    field of the trace — is identical to the no-checkpoint trace) makes
+    every job resumable at that iteration cadence.
     """
     rng = random.Random(seed)
     specs: list[JobSpec] = []
@@ -148,6 +152,7 @@ def bursty_trace(
                     deadline_s=deadline,
                     hardware_class=hardware_class,
                     submit_at=base + offset,
+                    checkpoint_every=checkpoint_every,
                 )
             )
             offset += rng.uniform(1.0, 20.0)
@@ -178,19 +183,25 @@ def run_bursty_drill(
     oracle: CostOracle | None = None,
     nodes: list[Node] | None = None,
     optimizer_mode: str | None = None,
+    journal: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> FleetOutcome:
     """Run the bursty trace (plus the standard fault) under one policy.
 
     ``optimizer_mode`` selects the stall-free optimizer variant on the
     Ratel nodes (ignored when explicit ``nodes`` are given).
+    ``journal`` write-ahead logs every scheduler transition so the run
+    can be recovered after a coordinator crash; ``checkpoint_every``
+    makes the trace's jobs resumable at that iteration cadence.
     """
     fleet = Fleet(
         nodes if nodes is not None else standard_fleet_nodes(optimizer_mode),
         scheduler,
         oracle=oracle,
         ledger=ledger,
+        journal=journal,
     )
-    for spec in bursty_trace(n_jobs, seed):
+    for spec in bursty_trace(n_jobs, seed, checkpoint_every=checkpoint_every):
         fleet.submit(spec)
     if degrade:
         for injection in standard_degradations():

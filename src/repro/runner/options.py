@@ -48,6 +48,11 @@ class RunOptions:
     #: sweeps/fleet swap to the matching sim policy, and runtimes built
     #: under the session inherit it via ``ratel_init``.
     optimizer_mode: str | None = None
+    #: Write-ahead journal every fleet scheduler transition to this path.
+    journal: str | None = None
+    #: Recover a crashed fleet run from ``--journal`` instead of starting
+    #: a fresh drill.
+    resume: bool = False
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "RunOptions":
@@ -100,13 +105,19 @@ class RunOptions:
 
 
 def run_options_parent(
-    *, adapt_help: str | None = None, ledger_record: bool = True
+    *,
+    adapt_help: str | None = None,
+    ledger_record: bool = True,
+    journal_flags: bool = False,
 ) -> argparse.ArgumentParser:
     """The parent parser carrying the shared runner flags.
 
     Subcommands inherit it via ``add_parser(..., parents=[...])``;
     ``adapt_help`` adds the command's ``--adapt`` drill flag with
-    command-specific help (omitted when the command has no drill).
+    command-specific help (omitted when the command has no drill), and
+    ``journal_flags`` adds the crash-safety pair ``--journal``/
+    ``--resume`` for commands with recoverable long-running state
+    (currently ``fleet``).
     """
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("runner options")
@@ -141,4 +152,15 @@ def run_options_parent(
     )
     if adapt_help is not None:
         group.add_argument("--adapt", action="store_true", help=adapt_help)
+    if journal_flags:
+        group.add_argument(
+            "--journal", metavar="PATH", default=None,
+            help="write-ahead journal every scheduler transition to PATH "
+            "(JSONL); the run becomes recoverable after a coordinator crash",
+        )
+        group.add_argument(
+            "--resume", action="store_true",
+            help="recover the fleet from --journal (repairing a torn tail) "
+            "and drain the requeued jobs instead of starting a new drill",
+        )
     return parent

@@ -19,6 +19,9 @@ from .serialization import (
     CheckpointError,
     PeriodicCheckpointer,
     checkpoint_path,
+    checkpoint_step_path,
+    latest_checkpoint,
+    list_checkpoints,
     load_checkpoint,
     save_checkpoint,
 )
@@ -70,6 +73,9 @@ __all__ = [
     "CheckpointError",
     "PeriodicCheckpointer",
     "checkpoint_path",
+    "checkpoint_step_path",
+    "latest_checkpoint",
+    "list_checkpoints",
     "load_checkpoint",
     "save_checkpoint",
     "CharTokenizer",

@@ -19,7 +19,9 @@ for :meth:`repro.runtime.offload.RatelRuntime.add_step_hook`.
 
 from __future__ import annotations
 
+import glob
 import os
+import re
 import zipfile
 
 import numpy as np
@@ -38,6 +40,41 @@ FORMAT_VERSION = 1
 def checkpoint_path(path: str) -> str:
     """The on-disk name for ``path`` (numpy always appends ``.npz``)."""
     return path if path.endswith(".npz") else path + ".npz"
+
+
+_STEP_SUFFIX_RE = re.compile(r"\.step(\d{8})\.npz$")
+
+
+def checkpoint_step_path(path: str, step: int) -> str:
+    """The step-stamped on-disk name retention mode writes:
+    ``<base>.step<NNNNNNNN>.npz`` (zero-padded so names sort by step)."""
+    base = path[: -len(".npz")] if path.endswith(".npz") else path
+    return f"{base}.step{step:08d}.npz"
+
+
+def list_checkpoints(path: str) -> list[tuple[int, str]]:
+    """Every step-stamped checkpoint for ``path``, oldest first."""
+    base = path[: -len(".npz")] if path.endswith(".npz") else path
+    found: list[tuple[int, str]] = []
+    for candidate in glob.glob(glob.escape(base) + ".step*.npz"):
+        match = _STEP_SUFFIX_RE.search(candidate)
+        if match:
+            found.append((int(match.group(1)), candidate))
+    return sorted(found)
+
+
+def latest_checkpoint(path: str) -> str | None:
+    """The newest checkpoint written under ``path``, in either layout.
+
+    Prefers the highest step-stamped file (retention mode); falls back
+    to the single overwritten file (legacy mode); ``None`` when nothing
+    has been saved yet.
+    """
+    stamped = list_checkpoints(path)
+    if stamped:
+        return stamped[-1][1]
+    single = checkpoint_path(path)
+    return single if os.path.exists(single) else None
 
 
 def save_checkpoint(path: str, optimizer: CPUAdam, step: int = 0) -> str:
@@ -152,17 +189,36 @@ class PeriodicCheckpointer:
         ckpt = PeriodicCheckpointer("run/ckpt", optimizer, every_n_steps=50)
         runtime.add_step_hook(ckpt)
 
-    Each save is atomic and overwrites the previous one, so after a
-    crash the newest complete checkpoint is always loadable and training
-    replays at most ``every_n_steps - 1`` steps.
+    Each save is atomic, so after a crash the newest complete checkpoint
+    is always loadable and training replays at most
+    ``every_n_steps - 1`` steps.
+
+    ``keep_last=None`` (the default) overwrites a single file in place.
+    ``keep_last=N`` switches to step-stamped files
+    (:func:`checkpoint_step_path`) and garbage-collects down to the
+    newest ``N``.  The order is crash-safe: the new checkpoint is fully
+    written (atomic rename) *before* any old one is deleted, and GC
+    removes oldest-first — an interruption at any point leaves the
+    newest valid checkpoint on disk, discoverable via
+    :func:`latest_checkpoint`.
     """
 
-    def __init__(self, path: str, optimizer: CPUAdam, every_n_steps: int = 1) -> None:
+    def __init__(
+        self,
+        path: str,
+        optimizer: CPUAdam,
+        every_n_steps: int = 1,
+        *,
+        keep_last: int | None = None,
+    ) -> None:
         if every_n_steps < 1:
             raise ValueError(f"every_n_steps must be >= 1, got {every_n_steps}")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1 when set, got {keep_last}")
         self.path = path
         self.optimizer = optimizer
         self.every_n_steps = every_n_steps
+        self.keep_last = keep_last
         #: Steps completed since the checkpointer was installed.
         self.step = 0
         #: Step numbers at which a checkpoint was actually written.
@@ -172,8 +228,26 @@ class PeriodicCheckpointer:
         """Count one finished step; save when the cadence comes due."""
         self.step += 1
         if self.step % self.every_n_steps == 0:
-            save_checkpoint(self.path, self.optimizer, step=self.step)
+            if self.keep_last is None:
+                save_checkpoint(self.path, self.optimizer, step=self.step)
+            else:
+                save_checkpoint(
+                    checkpoint_step_path(self.path, self.step),
+                    self.optimizer,
+                    step=self.step,
+                )
+                self._gc()
             self.saved_steps.append(self.step)
+
+    def _gc(self) -> None:
+        # The new checkpoint is already durable; now trim, oldest first.
+        stamped = list_checkpoints(self.path)
+        excess = len(stamped) - (self.keep_last or 0)
+        for _, stale in stamped[:excess]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass  # a racing cleanup is fine; never fail the step hook
 
 
 def _read_state(optimizer: CPUAdam, name: str, suffix: str) -> np.ndarray:

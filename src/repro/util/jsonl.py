@@ -21,6 +21,14 @@ returning — the durability a write-ahead journal needs (an accepted
 request must survive the crash that follows the acknowledgement), and
 opt-in because the run ledger's default workload is bulk recording
 where per-line fsync would dominate.
+
+``keep_open=True`` keeps one append handle open across calls instead of
+re-opening the file per record, flushing after every write.  That is the
+fleet journal's durability point: a flushed line is in the page cache,
+which survives ``kill -9`` of the *process* (the failure a coordinator
+journal defends against); only power loss also needs ``fsync=True``.
+The open/flush split is what keeps journal overhead in the noise — an
+open+close per record costs an order of magnitude more than the write.
 """
 
 from __future__ import annotations
@@ -41,11 +49,15 @@ class JsonlFile:
     only the final record of a file can be torn by a crash.
     """
 
-    def __init__(self, path: str, *, fsync: bool = False) -> None:
+    def __init__(
+        self, path: str, *, fsync: bool = False, keep_open: bool = False
+    ) -> None:
         self.path = path
         self.fsync = fsync
+        self.keep_open = keep_open
         self.skipped = 0
         self.truncated_tail = 0
+        self._handle: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"JsonlFile({self.path!r}, fsync={self.fsync})"
@@ -57,17 +69,39 @@ class JsonlFile:
 
         The record is serialised with sorted keys (stable diffs) and
         written as a single ``write`` call so concurrent appenders
-        interleave at line granularity, not byte granularity.
+        interleave at line granularity, not byte granularity.  In
+        ``keep_open`` mode the handle persists across appends (O_APPEND,
+        so a reopened writer still lands at the true end of file) and
+        every record is flushed before returning.
         """
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
         line = json.dumps(payload, sort_keys=True) + "\n"
+        if self.keep_open:
+            if self._handle is None:
+                self._ensure_parent()
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            return
+        self._ensure_parent()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
             if self.fsync:
                 handle.flush()
                 os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Flush and release a ``keep_open`` handle (no-op otherwise)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def _ensure_parent(self) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
 
     # -- reading ---------------------------------------------------------------
 
@@ -125,6 +159,7 @@ class JsonlFile:
         first post-restart append (the service journal does, in
         ``recover()``).  A clean file is untouched and returns 0.
         """
+        self.close()  # truncate through a fresh handle, never a live writer
         if not os.path.exists(self.path):
             return 0
         with open(self.path, "rb") as handle:

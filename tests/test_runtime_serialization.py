@@ -14,6 +14,9 @@ from repro.runtime import (
     PeriodicCheckpointer,
     RatelOptimizer,
     checkpoint_path,
+    checkpoint_step_path,
+    latest_checkpoint,
+    list_checkpoints,
     ratel_hook,
     ratel_init,
 )
@@ -210,6 +213,75 @@ class TestPeriodicCheckpointer:
     def test_invalid_cadence_rejected(self):
         with pytest.raises(ValueError):
             PeriodicCheckpointer("x", optimizer=None, every_n_steps=0)
+
+    def test_invalid_keep_last_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer("x", optimizer=None, keep_last=0)
+
+    def test_keep_last_retains_newest_n(self, tmp_path):
+        loss_fn = CrossEntropyLoss()
+        data = batches(6)
+        path = str(tmp_path / "periodic")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            ckpt = PeriodicCheckpointer(
+                path, optimizer.cpu_adam, every_n_steps=2, keep_last=2
+            )
+            runtime.add_step_hook(ckpt)
+            for ids, targets in data:
+                runtime.train_step(
+                    lambda ids=ids, targets=targets: loss_fn(model(ids), targets)
+                )
+            assert ckpt.saved_steps == [2, 4, 6]
+            # Only the newest two step-stamped files survive the GC.
+            kept = list_checkpoints(path)
+            assert [step for step, _ in kept] == [4, 6]
+            newest = latest_checkpoint(path)
+            assert newest == checkpoint_step_path(path, 6)
+            assert load_checkpoint(newest, model, optimizer.cpu_adam) == 6
+
+    def test_latest_checkpoint_falls_back_to_legacy_single_file(self, tmp_path):
+        path = str(tmp_path / "periodic")
+        assert latest_checkpoint(path) is None
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            _, _, optimizer = fresh_training()
+            save_checkpoint(checkpoint_path(path), optimizer.cpu_adam, step=3)
+        assert latest_checkpoint(path) == checkpoint_path(path)
+
+    def test_crash_during_gc_never_drops_the_newest(self, tmp_path, monkeypatch):
+        """The new checkpoint lands atomically *before* GC runs, so a
+        crash mid-unlink costs extra disk, never the latest state."""
+        from repro.runtime import serialization
+
+        loss_fn = CrossEntropyLoss()
+        data = batches(4)
+        path = str(tmp_path / "periodic")
+        with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
+            model, runtime, optimizer = fresh_training()
+            ckpt = PeriodicCheckpointer(
+                path, optimizer.cpu_adam, every_n_steps=1, keep_last=1
+            )
+            runtime.add_step_hook(ckpt)
+
+            real_unlink = os.unlink
+
+            def flaky_unlink(target):
+                # Only checkpoint GC fails; the NVMe spill layer shares
+                # the os module and must keep working.
+                if ".step" in str(target):
+                    raise OSError("simulated crash mid-GC")
+                real_unlink(target)
+
+            monkeypatch.setattr(serialization.os, "unlink", flaky_unlink)
+            for ids, targets in data:  # GC failure must not fail the step
+                runtime.train_step(
+                    lambda ids=ids, targets=targets: loss_fn(model(ids), targets)
+                )
+            monkeypatch.undo()
+            assert ckpt.saved_steps == [1, 2, 3, 4]
+            newest = latest_checkpoint(path)
+            assert newest == checkpoint_step_path(path, 4)
+            assert load_checkpoint(newest, model, optimizer.cpu_adam) == 4
 
     def test_non_callable_hook_rejected(self):
         with ratel_init(gpu_capacity=GB, host_capacity=GB, nvme_capacity=4 * GB):
